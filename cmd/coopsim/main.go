@@ -1,0 +1,121 @@
+// Command coopsim runs one multiprogrammed workload on the simulated
+// CMP under a chosen LLC partitioning scheme and reports everything the
+// run produced: per-application IPC and MPKI, weighted speedup against
+// solo runs, energy, way allocations and transition statistics.
+//
+// Usage:
+//
+//	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
+//	        [-scale test|full] [-seed 1] [-compare]
+//
+// With -compare, all five schemes run on the group and a comparison
+// table is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	group := flag.String("group", "G2-8", "workload group from Table 4 (G2-1..G2-14, G4-1..G4-14)")
+	scheme := flag.String("scheme", "CoopPart",
+		"LLC scheme: Unmanaged, FairShare, DynCPE, UCP or CoopPart")
+	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
+		"Cooperative Partitioning takeover threshold T (0..1)")
+	scaleName := flag.String("scale", "test", "simulation scale: test or full")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	compare := flag.Bool("compare", false, "run every scheme and print a comparison")
+	flag.Parse()
+
+	g, err := workload.FindGroup(*group)
+	if err != nil {
+		fatal(err)
+	}
+	var scale sim.Scale
+	switch *scaleName {
+	case "test":
+		scale = sim.TestScale()
+	case "full":
+		scale = sim.FullScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+	runner := experiments.NewRunner(experiments.Config{
+		Scale: scale, Seed: *seed, Threshold: *threshold,
+	})
+
+	if *compare {
+		compareAll(runner, g)
+		return
+	}
+	res, err := runner.RunGroup(g, sim.SchemeKind(*scheme))
+	if err != nil {
+		fatal(err)
+	}
+	report(runner, res)
+}
+
+func report(r *experiments.Runner, res *sim.Results) {
+	fmt.Printf("scheme %s on %s (%v)\n\n", res.Scheme, res.Group, res.Benchmarks)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tIPC\tMPKI\tL1 miss rate")
+	for i, b := range res.Benchmarks {
+		fmt.Fprintf(w, "%s\t%.3f\t%.2f\t%.1f%%\n", b, res.IPC[i], res.MPKI[i], 100*res.L1MissRate[i])
+	}
+	w.Flush()
+
+	if ws, err := r.WeightedSpeedup(res); err == nil {
+		fmt.Printf("\nweighted speedup (vs solo): %.3f\n", ws)
+	}
+	fmt.Printf("cycles: %d, LLC accesses: %d (%.2f tag ways probed per access)\n",
+		res.Cycles, res.SchemeStats.TotalAccesses(), res.AvgWaysConsulted)
+	fmt.Printf("dynamic energy: %.0f, static power: %.3f/cycle\n", res.Dynamic, res.StaticPower)
+	fmt.Printf("final way allocation: %v\n", res.Allocations)
+	fmt.Printf("decisions: %d, repartitions: %d, writebacks to memory: %d\n",
+		res.SchemeStats.Decisions, res.SchemeStats.Repartitions, res.SchemeStats.WritebacksToMem)
+	tr := res.Transition
+	if tr.WaysMoved > 0 {
+		fmt.Printf("way transfers: %d completed (%d ways), avg %.0f cycles/way, %d lines flushed\n",
+			tr.Completed, tr.WaysMoved, tr.AvgTransferCycles(), tr.FlushedLines)
+	}
+}
+
+func compareAll(r *experiments.Runner, g workload.Group) {
+	fmt.Printf("comparison on %s (%v), normalised to FairShare\n\n", g.Name, g.Benchmarks)
+	fair, err := r.RunGroup(g, sim.FairShare)
+	if err != nil {
+		fatal(err)
+	}
+	fairWS, err := r.WeightedSpeedup(fair)
+	if err != nil {
+		fatal(err)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tweighted speedup\tdynamic energy\tstatic power\tways/access\tallocation")
+	for _, kind := range sim.AllSchemes {
+		res, err := r.RunGroup(g, kind)
+		if err != nil {
+			fatal(err)
+		}
+		ws, err := r.WeightedSpeedup(res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\t%.2f\t%v\n",
+			res.Scheme, ws/fairWS, res.Dynamic/fair.Dynamic,
+			res.StaticPower/fair.StaticPower, res.AvgWaysConsulted, res.Allocations)
+	}
+	w.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coopsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command figures regenerates Figures 5-16 of the paper's evaluation as
+// plain-text tables or CSV.
+//
+// Usage:
+//
+//	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T]
+//
+// Without -fig, every data figure (5-16) is printed. Figures 1-4 are
+// schematics with no data series; the takeover mechanics they
+// illustrate are demonstrated by examples/takeover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (5-16; 0 = all)")
+	scale := flag.String("scale", "test", "simulation scale: test or full")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
+		"Cooperative Partitioning takeover threshold T")
+	flag.Parse()
+
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	r := experiments.NewRunner(experiments.Config{
+		Scale: sc, Seed: *seed, Threshold: *threshold,
+	})
+
+	figs := []int{*fig}
+	if *fig == 0 {
+		figs = nil
+		for n := 5; n <= 16; n++ {
+			figs = append(figs, n)
+		}
+	}
+	for _, n := range figs {
+		f, err := r.Figure(n)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			err = f.WriteCSV(os.Stdout)
+		} else {
+			err = f.WriteTable(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func scaleByName(name string) (sim.Scale, error) {
+	switch name {
+	case "test":
+		return sim.TestScale(), nil
+	case "full":
+		return sim.FullScale(), nil
+	default:
+		return sim.Scale{}, fmt.Errorf("unknown scale %q (test or full)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command tables regenerates Tables 1-4 of the paper.
+//
+// Usage:
+//
+//	tables [-table N] [-scale test|full] [-seed N]
+//
+// Without -table, all four tables are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number (1-4; 0 = all)")
+	scale := flag.String("scale", "test", "simulation scale: test or full")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	sc, err := scaleByName(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed})
+
+	run := func(n int) error {
+		switch n {
+		case 1:
+			return r.Table1(os.Stdout)
+		case 2:
+			return r.Table2(os.Stdout)
+		case 3:
+			rows, err := r.Table3()
+			if err != nil {
+				return err
+			}
+			experiments.WriteTable3(os.Stdout, rows)
+			return nil
+		case 4:
+			return r.Table4(os.Stdout)
+		default:
+			return fmt.Errorf("no table %d", n)
+		}
+	}
+
+	if *table != 0 {
+		if err := run(*table); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for n := 1; n <= 4; n++ {
+		if err := run(n); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func scaleByName(name string) (sim.Scale, error) {
+	switch name {
+	case "test":
+		return sim.TestScale(), nil
+	case "full":
+		return sim.FullScale(), nil
+	default:
+		return sim.Scale{}, fmt.Errorf("unknown scale %q (test or full)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tables:", err)
+	os.Exit(1)
+}

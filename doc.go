@@ -1,0 +1,20 @@
+// Package repro reproduces "Cooperative Partitioning: Energy-Efficient
+// Cache Partitioning for High-Performance CMPs" (Sundararajan,
+// Porpodas, Jones, Topham, Franke — HPCA 2012) as a Go library.
+//
+// The paper's contribution — way-aligned LLC partitioning with RAP/WAP
+// permission registers, a thresholded look-ahead allocator, cooperative
+// takeover for way migration, and gated-Vdd power-off of unallocated
+// ways — lives in internal/core. The substrates it is evaluated on
+// (set-associative caches, utility monitors, a DRAM model, out-of-order
+// core timing, synthetic SPEC-like workloads, the comparison schemes
+// Unmanaged / Fair Share / Dynamic CPE / UCP, and an energy model) are
+// implemented from scratch in the sibling internal packages; see
+// DESIGN.md for the inventory and EXPERIMENTS.md for the measured
+// reproduction of every table and figure.
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// testing.B per table and figure of the paper's evaluation, plus the
+// ablations of DESIGN.md §7 and microbenchmarks of the simulator's hot
+// paths.
+package repro

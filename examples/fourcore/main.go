@@ -1,0 +1,79 @@
+// Fourcore compares all five schemes on one four-application workload
+// (the paper's Section 4.2 setting: 4MB, 16-way shared LLC), printing
+// per-application IPC, the final way allocation, and the energy
+// headlines.
+//
+//	go run ./examples/fourcore [group]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	groupName := "G4-3" // dealII, sjeng, soplex, namd: the thrashing example
+	if len(os.Args) > 1 {
+		groupName = os.Args[1]
+	}
+	group, err := workload.FindGroup(groupName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scale := sim.TestScale()
+
+	// Dynamic CPE needs offline profiles (the paper profiles each
+	// application solo before the run).
+	var profiles []partition.CoreProfile
+	for _, b := range group.Benchmarks {
+		p, err := sim.ProfileBenchmark(b, scale, len(group.Benchmarks), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		profiles = append(profiles, p)
+	}
+
+	fmt.Printf("workload %s: %v\n\n", group.Name, group.Benchmarks)
+	fmt.Printf("%-11s %28s %18s %8s %8s %8s\n",
+		"scheme", "IPC per app", "way allocation", "dyn", "static", "ways/acc")
+
+	var fair *sim.Results
+	for _, scheme := range sim.AllSchemes {
+		cfg := sim.RunConfig{Scale: scale, Scheme: scheme, Group: group, Seed: 1}
+		if scheme == sim.DynCPE {
+			cfg.Profiles = profiles
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if scheme == sim.FairShare {
+			fair = res
+		}
+		dyn, stat := 1.0, 1.0
+		if fair != nil {
+			dyn = res.Dynamic / fair.Dynamic
+			stat = res.StaticPower / fair.StaticPower
+		}
+		fmt.Printf("%-11s %28s %18v %8.2f %8.2f %8.2f\n",
+			res.Scheme, ipcs(res.IPC), res.Allocations, dyn, stat, res.AvgWaysConsulted)
+	}
+	fmt.Println("\n(dyn and static are normalised to FairShare; ways/acc is the mean")
+	fmt.Println("number of tag ways probed per LLC access — the dynamic-energy lever)")
+}
+
+func ipcs(v []float64) string {
+	s := ""
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", x)
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+// Quickstart: run one two-application workload under Cooperative
+// Partitioning and print what the scheme did — the partitioning
+// decisions' outcome, the energy savings versus the Fair Share
+// baseline, and the way-transfer statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// G2-8 pairs lbm (streaming, 20 MPKI, needs almost no cache) with
+	// soplex (18 MPKI with a 4-way working set): an asymmetric pair the
+	// partitioner can exploit.
+	group, err := workload.FindGroup("G2-8")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scale := sim.TestScale()
+	run := func(scheme sim.SchemeKind) *sim.Results {
+		res, err := sim.Run(sim.RunConfig{
+			Scale:  scale,
+			Scheme: scheme,
+			Group:  group,
+			Seed:   1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fair := run(sim.FairShare)
+	coop := run(sim.CoopPart)
+
+	fmt.Printf("workload %s: %v\n\n", group.Name, group.Benchmarks)
+	fmt.Printf("%-22s %12s %12s\n", "", "FairShare", "CoopPart")
+	for i, b := range group.Benchmarks {
+		fmt.Printf("%-22s %12.3f %12.3f\n", "IPC "+b, fair.IPC[i], coop.IPC[i])
+	}
+	fmt.Printf("%-22s %12s %12s\n", "way allocation",
+		fmt.Sprint(fair.Allocations), fmt.Sprint(coop.Allocations))
+	fmt.Printf("%-22s %12.2f %12.2f\n", "avg tag ways probed",
+		fair.AvgWaysConsulted, coop.AvgWaysConsulted)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "dynamic energy (rel)",
+		1.0, coop.Dynamic/fair.Dynamic)
+	fmt.Printf("%-22s %12.2f %12.2f\n", "static power (rel)",
+		1.0, coop.StaticPower/fair.StaticPower)
+
+	tr := coop.Transition
+	fmt.Printf("\ncooperative takeover: %d transitions completed, %d ways moved\n",
+		tr.Completed, tr.WaysMoved)
+	if tr.WaysMoved > 0 {
+		fmt.Printf("  avg cycles to transfer a way: %.0f\n", tr.AvgTransferCycles())
+		fmt.Printf("  lines flushed during transfers: %d\n", tr.FlushedLines)
+		if total := tr.TakeoverEventTotal(); total > 0 {
+			fmt.Printf("  takeover bits set by: donor hits %.0f%%, donor misses %.0f%%, "+
+				"recipient hits %.0f%%, recipient misses %.0f%%\n",
+				100*float64(tr.DonorHits)/float64(total),
+				100*float64(tr.DonorMisses)/float64(total),
+				100*float64(tr.RecipientHits)/float64(total),
+				100*float64(tr.RecipientMisses)/float64(total))
+		} else {
+			fmt.Println("  (all transfers were way power-offs: no core-to-core events)")
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package cache implements the set-associative cache substrate used for
+// the private L1 caches and the shared last-level cache (LLC) in the
+// Cooperative Partitioning reproduction.
+//
+// The cache is a mechanics-only model: it stores tags, per-block dirty
+// bits, per-block owner IDs (the two extra bits per tag entry described
+// in Section 2.5 of the paper) and LRU recency state. Policy —
+// which ways a core may consult, which block is victimised, when blocks
+// are flushed — is supplied by the caller through way masks and victim
+// selectors, so the same substrate serves the Unmanaged, Fair Share,
+// Dynamic CPE, UCP and Cooperative Partitioning schemes.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a byte address in the simulated machine.
+type Addr = uint64
+
+// LineAddr is an address shifted right by the line-offset bits; it
+// uniquely identifies a cache line.
+type LineAddr = uint64
+
+// NoOwner marks a block that is valid but not attributed to any core
+// (only used transiently, e.g. after an ownership hand-off).
+const NoOwner = -1
+
+// Block is one cache line's metadata. Data contents are not simulated;
+// only the state needed for timing, energy and coherence-free
+// partitioning decisions is kept.
+type Block struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	Owner int    // core that inserted the block (2 bits/tag in the paper)
+	LRU   uint64 // recency stamp; larger = more recently used
+}
+
+// Config describes the geometry and latency of a cache.
+type Config struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	Latency   int // access latency in cycles
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	return c.SizeBytes / (c.LineBytes * c.Ways)
+}
+
+// Validate checks that the configuration is internally consistent.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry %d/%d/%d",
+			c.Name, c.SizeBytes, c.LineBytes, c.Ways)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %q: line size %d is not a power of two", c.Name, c.LineBytes)
+	}
+	s := c.Sets()
+	if s <= 0 || s&(s-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d is not a positive power of two", c.Name, s)
+	}
+	if c.Ways > 64 {
+		return fmt.Errorf("cache %q: %d ways exceed the 64-way mask limit", c.Name, c.Ways)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use;
+// the simulator drives it from a single goroutine.
+type Cache struct {
+	cfg     Config
+	sets    []Block // numSets * ways, row-major
+	numSets int
+	ways    int
+	idxMask uint64
+	offBits uint
+	clock   uint64 // global recency counter
+	stats   Stats
+}
+
+// New constructs a cache from cfg. It panics on an invalid
+// configuration: geometry is fixed at build time by the experiment
+// definitions, so a bad config is a programming error, not input error.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([]Block, numSets*cfg.Ways),
+		numSets: numSets,
+		ways:    cfg.Ways,
+		idxMask: uint64(numSets - 1),
+		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}
+	for i := range c.sets {
+		c.sets[i].Owner = NoOwner
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Latency returns the configured access latency in cycles.
+func (c *Cache) Latency() int { return c.cfg.Latency }
+
+// Stats returns a pointer to the cache's statistics counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Line converts a byte address to a line address.
+func (c *Cache) Line(addr Addr) LineAddr { return addr >> c.offBits }
+
+// Index returns the set index for a line address.
+func (c *Cache) Index(line LineAddr) int { return int(line & c.idxMask) }
+
+// TagOf returns the tag for a line address.
+func (c *Cache) TagOf(line LineAddr) uint64 { return line >> uint(bits.TrailingZeros(uint(c.numSets))) }
+
+// LineFrom reconstructs a line address from a set index and tag.
+func (c *Cache) LineFrom(set int, tag uint64) LineAddr {
+	return tag<<uint(bits.TrailingZeros(uint(c.numSets))) | uint64(set)
+}
+
+// blockAt returns the block at (set, way).
+func (c *Cache) blockAt(set, way int) *Block {
+	return &c.sets[set*c.ways+way]
+}
+
+// Block returns a copy of the block at (set, way) for inspection.
+func (c *Cache) Block(set, way int) Block { return *c.blockAt(set, way) }
+
+// AllMask returns the way mask with every way enabled.
+func (c *Cache) AllMask() uint64 {
+	if c.ways == 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(c.ways)) - 1
+}
+
+// Probe searches the ways selected by mask for the tag of line. It
+// returns the hit way and true, or -1 and false. Probe does not update
+// recency state; callers that want a full access should use Access.
+// The number of tags consulted equals the popcount of mask, which is
+// what the dynamic-energy model charges.
+func (c *Cache) Probe(set int, tag uint64, mask uint64) (int, bool) {
+	base := set * c.ways
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		b := &c.sets[base+w]
+		if b.Valid && b.Tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Touch marks (set, way) as most recently used.
+func (c *Cache) Touch(set, way int) {
+	c.clock++
+	c.blockAt(set, way).LRU = c.clock
+}
+
+// Victim returns the way to replace among the ways in mask: an invalid
+// way if one exists, otherwise the least recently used way in the mask.
+// It returns -1 if the mask is empty.
+func (c *Cache) Victim(set int, mask uint64) int {
+	best, bestLRU := -1, ^uint64(0)
+	base := set * c.ways
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		b := &c.sets[base+w]
+		if !b.Valid {
+			return w
+		}
+		if b.LRU < bestLRU {
+			best, bestLRU = w, b.LRU
+		}
+	}
+	return best
+}
+
+// VictimOwnedBy returns the LRU way in mask whose block is owned by
+// owner, or -1 if owner has no block in the masked ways of the set.
+// Invalid blocks are treated as owned by nobody.
+func (c *Cache) VictimOwnedBy(set, owner int, mask uint64) int {
+	best, bestLRU := -1, ^uint64(0)
+	base := set * c.ways
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		b := &c.sets[base+w]
+		if !b.Valid || b.Owner != owner {
+			continue
+		}
+		if b.LRU < bestLRU {
+			best, bestLRU = w, b.LRU
+		}
+	}
+	return best
+}
+
+// CountOwned returns how many valid blocks in the masked ways of set are
+// owned by owner.
+func (c *Cache) CountOwned(set, owner int, mask uint64) int {
+	n := 0
+	base := set * c.ways
+	for m := mask; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		b := &c.sets[base+w]
+		if b.Valid && b.Owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// Evicted describes a block displaced by Install or flush operations.
+type Evicted struct {
+	Line  LineAddr
+	Dirty bool
+	Owner int
+	Valid bool // false if the victim way was empty
+}
+
+// InstallAt writes a new block into (set, way), returning the displaced
+// block. The new block is marked most recently used.
+func (c *Cache) InstallAt(set, way int, tag uint64, owner int, dirty bool) Evicted {
+	b := c.blockAt(set, way)
+	ev := Evicted{Valid: b.Valid, Dirty: b.Dirty, Owner: b.Owner}
+	if b.Valid {
+		ev.Line = c.LineFrom(set, b.Tag)
+	}
+	c.clock++
+	*b = Block{Tag: tag, Valid: true, Dirty: dirty, Owner: owner, LRU: c.clock}
+	if ev.Valid {
+		c.stats.Evictions++
+		if ev.Dirty {
+			c.stats.DirtyEvictions++
+		}
+	}
+	return ev
+}
+
+// MarkDirty sets the dirty bit of the block at (set, way).
+func (c *Cache) MarkDirty(set, way int) { c.blockAt(set, way).Dirty = true }
+
+// SetOwner rewrites the owner of the block at (set, way) without
+// touching recency or dirtiness. Used when ownership of a way's contents
+// transfers between cores.
+func (c *Cache) SetOwner(set, way, owner int) { c.blockAt(set, way).Owner = owner }
+
+// FlushBlock cleans the block at (set, way). It returns the line address
+// and true if the block was valid and dirty (i.e. a writeback to memory
+// is required). The block remains valid but clean.
+func (c *Cache) FlushBlock(set, way int) (LineAddr, bool) {
+	b := c.blockAt(set, way)
+	if !b.Valid || !b.Dirty {
+		return 0, false
+	}
+	b.Dirty = false
+	c.stats.Flushes++
+	return c.LineFrom(set, b.Tag), true
+}
+
+// InvalidateBlock invalidates the block at (set, way), returning the
+// evicted metadata (callers write back dirty data themselves).
+func (c *Cache) InvalidateBlock(set, way int) Evicted {
+	b := c.blockAt(set, way)
+	ev := Evicted{Valid: b.Valid, Dirty: b.Dirty, Owner: b.Owner}
+	if b.Valid {
+		ev.Line = c.LineFrom(set, b.Tag)
+	}
+	*b = Block{Owner: NoOwner}
+	return ev
+}
+
+// InvalidateWay invalidates every block in the given way across all
+// sets, invoking wb for each valid dirty block. This models the
+// gated-Vdd power-off of a way (non-state-preserving, Section 6).
+func (c *Cache) InvalidateWay(way int, wb func(LineAddr)) {
+	for s := 0; s < c.numSets; s++ {
+		b := c.blockAt(s, way)
+		if b.Valid && b.Dirty && wb != nil {
+			wb(c.LineFrom(s, b.Tag))
+		}
+		*b = Block{Owner: NoOwner}
+	}
+}
+
+// ForEachValid calls fn for every valid block, with its set and way.
+func (c *Cache) ForEachValid(fn func(set, way int, b Block)) {
+	for s := 0; s < c.numSets; s++ {
+		for w := 0; w < c.ways; w++ {
+			b := c.blockAt(s, w)
+			if b.Valid {
+				fn(s, w, *b)
+			}
+		}
+	}
+}
+
+// OwnedWays returns, for the given set, the mask of ways whose valid
+// block is owned by owner.
+func (c *Cache) OwnedWays(set, owner int) uint64 {
+	var mask uint64
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		b := &c.sets[base+w]
+		if b.Valid && b.Owner == owner {
+			mask |= 1 << uint(w)
+		}
+	}
+	return mask
+}
+
+// Access performs a simple full-mask read or write access with plain
+// LRU replacement, as used by the private L1 caches: probe all ways,
+// update recency on hit, replace the LRU block on miss. The returned
+// Evicted describes the displaced block on a miss fill (Valid=false on
+// hit). The bool reports hit/miss.
+func (c *Cache) Access(line LineAddr, owner int, isWrite bool) (Evicted, bool) {
+	set := c.Index(line)
+	tag := c.TagOf(line)
+	c.stats.Accesses++
+	if way, hit := c.Probe(set, tag, c.AllMask()); hit {
+		c.stats.Hits++
+		c.Touch(set, way)
+		if isWrite {
+			c.MarkDirty(set, way)
+		}
+		return Evicted{}, true
+	}
+	c.stats.Misses++
+	victim := c.Victim(set, c.AllMask())
+	ev := c.InstallAt(set, victim, tag, owner, isWrite)
+	return ev, false
+}
+
+// Stats holds raw event counters for a cache.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	Evictions      uint64
+	DirtyEvictions uint64
+	Flushes        uint64
+}
+
+// HitRate returns hits/accesses, or 0 when no accesses occurred.
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissRate returns misses/accesses, or 0 when no accesses occurred.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// SetLRU overwrites the recency stamp of the block at (set, way).
+// Schemes that manage the replacement stack directly (PIPP's insertion
+// position and single-step promotion) use it; plain-LRU schemes never
+// need to.
+func (c *Cache) SetLRU(set, way int, lru uint64) { c.blockAt(set, way).LRU = lru }

@@ -1,0 +1,94 @@
+package cache
+
+// MSHRFile models a file of miss-status holding registers. Outstanding
+// misses to the same line coalesce into one entry; the file's capacity
+// bounds the memory-level parallelism a core can expose, which the
+// timing model uses to cap miss overlap.
+//
+// The simulator is cycle-batched rather than event-driven, so the MSHR
+// file tracks entries by their completion time and retires them lazily
+// whenever the current time is consulted.
+type MSHRFile struct {
+	capacity int
+	entries  map[LineAddr]int64 // line -> completion time
+	stats    MSHRStats
+}
+
+// MSHRStats counts MSHR file events.
+type MSHRStats struct {
+	Allocations uint64
+	Coalesced   uint64
+	FullStalls  uint64
+}
+
+// NewMSHRFile returns a file with the given number of entries.
+func NewMSHRFile(capacity int) *MSHRFile {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &MSHRFile{
+		capacity: capacity,
+		entries:  make(map[LineAddr]int64, capacity),
+	}
+}
+
+// Capacity returns the number of registers in the file.
+func (m *MSHRFile) Capacity() int { return m.capacity }
+
+// Stats returns the file's counters.
+func (m *MSHRFile) Stats() MSHRStats { return m.stats }
+
+// retire drops entries whose completion time has passed.
+func (m *MSHRFile) retire(now int64) {
+	for line, done := range m.entries {
+		if done <= now {
+			delete(m.entries, line)
+		}
+	}
+}
+
+// Occupancy returns the number of live entries at time now.
+func (m *MSHRFile) Occupancy(now int64) int {
+	m.retire(now)
+	return len(m.entries)
+}
+
+// Allocate records a miss to line that completes at done. It returns
+// the time at which the request can actually be tracked (now, or later
+// if the file is full and the requester must stall until the earliest
+// entry retires) and whether the miss coalesced with an existing entry.
+func (m *MSHRFile) Allocate(line LineAddr, now, done int64) (start int64, coalesced bool) {
+	m.retire(now)
+	if existing, ok := m.entries[line]; ok {
+		m.stats.Coalesced++
+		if existing > done {
+			done = existing
+		}
+		m.entries[line] = done
+		return now, true
+	}
+	start = now
+	if len(m.entries) >= m.capacity {
+		m.stats.FullStalls++
+		earliest := int64(1<<62 - 1)
+		var victim LineAddr
+		for l, d := range m.entries {
+			if d < earliest {
+				earliest, victim = d, l
+			}
+		}
+		delete(m.entries, victim)
+		if earliest > start {
+			start = earliest
+		}
+	}
+	m.stats.Allocations++
+	m.entries[line] = done
+	return start, false
+}
+
+// Reset clears all entries and counters.
+func (m *MSHRFile) Reset() {
+	m.entries = make(map[LineAddr]int64, m.capacity)
+	m.stats = MSHRStats{}
+}

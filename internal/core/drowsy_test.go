@@ -1,0 +1,110 @@
+package core
+
+import "testing"
+
+func TestDrowsyDisabledByDefault(t *testing.T) {
+	c := testScheme(0.05)
+	if c.DrowsyEnabled() {
+		t.Fatal("drowsy must be off by default")
+	}
+	if c.IsDrowsy(0, 1_000_000) {
+		t.Fatal("IsDrowsy must be false when disabled")
+	}
+	if c.PoweredWayEquiv() != 4 {
+		t.Fatal("default powered ways wrong")
+	}
+}
+
+func TestDrowsyWaysGoDrowsyWhenIdle(t *testing.T) {
+	c := testScheme(0.05)
+	c.EnableDrowsy(DrowsyConfig{Window: 100, Factor: 0.25, WakePenalty: 1})
+	// Touch core 0's ways at t=0.
+	c.Access(0, addrFor(c, 0, 0, 1), false, 0)
+	if c.IsDrowsy(0, 50) && c.IsDrowsy(1, 50) {
+		t.Fatal("recently-idle ways already drowsy")
+	}
+	if !c.IsDrowsy(0, 500) {
+		t.Fatal("way 0 should be drowsy after the window")
+	}
+}
+
+func TestDrowsyWakePenalty(t *testing.T) {
+	c := testScheme(0.05)
+	c.EnableDrowsy(DrowsyConfig{Window: 100, Factor: 0.25, WakePenalty: 3})
+	addr := addrFor(c, 0, 5, 2)
+	c.Access(0, addr, false, 0) // fill (wakes the victim way)
+	// Re-access long after the window: hit, but pays the wake penalty.
+	res := c.Access(0, addr, false, 10_000)
+	if !res.Hit {
+		t.Fatal("expected hit")
+	}
+	if res.Latency != 15+3 {
+		t.Fatalf("latency = %d, want hit latency 15 + wake 3", res.Latency)
+	}
+	// Immediate re-access: awake, no penalty.
+	res = c.Access(0, addr, false, 10_010)
+	if res.Latency != 15 {
+		t.Fatalf("awake hit latency = %d, want 15", res.Latency)
+	}
+}
+
+func TestDrowsyReducesPoweredEquiv(t *testing.T) {
+	c := testScheme(0.05)
+	c.EnableDrowsy(DrowsyConfig{Window: 100, Factor: 0.25, WakePenalty: 1})
+	c.Access(0, addrFor(c, 0, 0, 1), false, 0)
+	c.Access(1, addrFor(c, 1, 0, 1), false, 0)
+	full := c.PoweredWayEquiv()
+	// Advance time via another access far in the future: the three
+	// untouched ways have gone drowsy.
+	c.Access(0, addrFor(c, 0, 1, 1), false, 50_000)
+	reduced := c.PoweredWayEquiv()
+	if reduced >= full {
+		t.Fatalf("powered equiv did not drop: %v -> %v", full, reduced)
+	}
+	// Lower bound: 1 awake way + 3 drowsy at 0.25 = 1.75.
+	if reduced < 1.74 || reduced > 4 {
+		t.Fatalf("powered equiv = %v out of range", reduced)
+	}
+}
+
+func TestDrowsyPreservesContents(t *testing.T) {
+	c := testScheme(0.05)
+	c.EnableDrowsy(DefaultDrowsyConfig())
+	addr := addrFor(c, 0, 7, 3)
+	c.Access(0, addr, true, 0)
+	// Long idle: drowsy, but unlike gated-Vdd the data survives.
+	res := c.Access(0, addr, false, 1_000_000)
+	if !res.Hit {
+		t.Fatal("drowsy way lost its contents")
+	}
+}
+
+func TestDrowsyOffWaysNotDrowsy(t *testing.T) {
+	c := testScheme(0.05)
+	c.EnableDrowsy(DefaultDrowsyConfig())
+	l2 := c.Cache()
+	c.perms.SetWrite(1, 0, false)
+	c.startDonation(0, transfer{way: 1, recipient: -1}, 0)
+	for set := 0; set < l2.NumSets(); set++ {
+		c.Access(0, addrFor(c, 0, set, 2), false, int64(10+set))
+	}
+	if !c.Perms().IsOff(1) {
+		t.Fatal("way 1 should be off")
+	}
+	if c.IsDrowsy(1, 1_000_000) {
+		t.Fatal("a gated way is off, not drowsy")
+	}
+	// Powered equiv excludes the gated way entirely.
+	if eq := c.PoweredWayEquiv(); eq > 3 {
+		t.Fatalf("powered equiv = %v, want <= 3 with one way gated", eq)
+	}
+}
+
+func TestEnableDrowsyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid drowsy config must panic")
+		}
+	}()
+	testScheme(0.05).EnableDrowsy(DrowsyConfig{Window: -1})
+}

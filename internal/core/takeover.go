@@ -1,0 +1,96 @@
+package core
+
+// BitVec is a takeover bit vector: one bit per cache set (Section 2.3).
+// Each core owns one; it is reset when the core becomes a donor and a
+// set's bit is set the first time the donor or a recipient accesses
+// that set during the transition.
+type BitVec struct {
+	words []uint64
+	n     int
+	count int
+}
+
+// NewBitVec returns a cleared vector of n bits.
+func NewBitVec(n int) *BitVec {
+	if n <= 0 {
+		panic("core: BitVec size must be positive")
+	}
+	return &BitVec{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits.
+func (v *BitVec) Len() int { return v.n }
+
+// Get reports whether bit i is set.
+func (v *BitVec) Get(i int) bool { return v.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Set sets bit i, reporting whether it was newly set.
+func (v *BitVec) Set(i int) bool {
+	w, b := i>>6, uint64(1)<<uint(i&63)
+	if v.words[w]&b != 0 {
+		return false
+	}
+	v.words[w] |= b
+	v.count++
+	return true
+}
+
+// Count returns how many bits are set.
+func (v *BitVec) Count() int { return v.count }
+
+// Full reports whether every bit is set — the transition-complete
+// condition of Section 2.4.
+func (v *BitVec) Full() bool { return v.count == v.n }
+
+// Reset clears all bits (start of a transition period).
+func (v *BitVec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+	v.count = 0
+}
+
+// transfer is one way migration in flight: the way and the core that
+// will own it afterwards (-1 when the way is being turned off).
+type transfer struct {
+	way       int
+	recipient int
+}
+
+// donorState tracks one donor core's active transition period: the ways
+// it is giving up, its takeover bit vector, and when the period began
+// (for the Figure 15/16 statistics).
+type donorState struct {
+	active    bool
+	bits      *BitVec
+	start     int64
+	transfers []transfer
+}
+
+// involves reports whether core participates in this transition, as the
+// donor itself or as a recipient of one of its ways.
+func (d *donorState) involves(donor, core int) bool {
+	if !d.active {
+		return false
+	}
+	if core == donor {
+		return true
+	}
+	for _, t := range d.transfers {
+		if t.recipient == core {
+			return true
+		}
+	}
+	return false
+}
+
+// hasRecipient reports whether any transfer in this transition hands
+// its way to another core (rather than powering it off).
+func (d *donorState) hasRecipient() bool {
+	for _, t := range d.transfers {
+		if t.recipient >= 0 {
+			return true
+		}
+	}
+	return false
+}

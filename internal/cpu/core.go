@@ -1,0 +1,218 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Config describes one core's pipeline (Table 2 of the paper).
+type Config struct {
+	Width         int // issue/retire width
+	ROB           int // reorder buffer entries
+	LSQ           int // load/store queue entries
+	PipelineDepth int
+	Gshare        GshareConfig
+}
+
+// DefaultConfig returns the paper's 4-wide, 7-stage configuration.
+func DefaultConfig() Config {
+	return Config{
+		Width:         4,
+		ROB:           128,
+		LSQ:           48,
+		PipelineDepth: 7,
+		Gshare:        DefaultGshareConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROB <= 0 || c.LSQ <= 0 || c.PipelineDepth <= 0 {
+		return fmt.Errorf("cpu: non-positive config %+v", c)
+	}
+	return nil
+}
+
+// AccessReply is the memory hierarchy's answer to one data access.
+type AccessReply struct {
+	Latency int64 // total cycles from issue to data return
+	L1Hit   bool
+}
+
+// MemPort is the interface the core uses to reach the memory
+// hierarchy: Access for data (private L1D backed by the shared LLC),
+// Fetch for instructions (private L1I backed by the same LLC). The
+// simulator package provides the implementation.
+type MemPort interface {
+	Access(core int, addr uint64, isWrite bool, now int64) AccessReply
+	Fetch(core int, pc uint64, now int64) AccessReply
+}
+
+// Core is the cycle-batched timing model of one out-of-order core
+// consuming a synthetic instruction stream.
+//
+// Timing rules:
+//   - every instruction costs one retire slot (1/Width cycles);
+//   - a mispredicted branch inserts the predictor's bubble;
+//   - a load that hits in the L1 is considered fully hidden by the
+//     out-of-order window;
+//   - a load that misses the L1 stalls retirement for
+//     latency / effectiveMLP cycles, where effectiveMLP is the
+//     benchmark's intrinsic memory-level parallelism clamped by the
+//     LSQ and ROB capacity — the window can only overlap misses it can
+//     hold;
+//   - stores retire through the store buffer: an L1-missing store
+//     charges a quarter of a load's exposed stall.
+type Core struct {
+	id     int
+	cfg    Config
+	gshare *Gshare
+	gen    *trace.Generator
+	mem    MemPort
+
+	clock     float64 // local cycle count (monotonic, never reset)
+	retired   uint64
+	fetchLine uint64 // line of the last instruction fetch
+	stats     Stats
+
+	// Snapshots taken at the end of warm-up so that IPC and counters
+	// reflect only the measured region while the clock stays monotonic
+	// (the shared LLC and DRAM keep absolute timestamps).
+	snapClock   float64
+	snapRetired uint64
+}
+
+// Stats aggregates per-core execution counters.
+type Stats struct {
+	Retired     uint64
+	Loads       uint64
+	Stores      uint64
+	Branches    uint64
+	L1Misses    uint64
+	FetchMisses uint64 // instruction fetches missing the L1I
+	StallCycles float64
+}
+
+// NewCore builds a core with the given id, consuming gen and accessing
+// memory through mem. It panics on invalid configuration.
+func NewCore(id int, cfg Config, gen *trace.Generator, mem MemPort) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Core{
+		id:     id,
+		cfg:    cfg,
+		gshare: NewGshare(cfg.Gshare),
+		gen:    gen,
+		mem:    mem,
+	}
+}
+
+// ID returns the core's identifier.
+func (c *Core) ID() int { return c.id }
+
+// Now returns the core's local clock in whole cycles.
+func (c *Core) Now() int64 { return int64(c.clock) }
+
+// Retired returns instructions retired since the last ResetStats.
+func (c *Core) Retired() uint64 { return c.retired - c.snapRetired }
+
+// IPC returns retired instructions per cycle since the last ResetStats.
+func (c *Core) IPC() float64 {
+	cycles := c.clock - c.snapClock
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(c.Retired()) / cycles
+}
+
+// MeasuredCycles returns cycles elapsed since the last ResetStats.
+func (c *Core) MeasuredCycles() float64 { return c.clock - c.snapClock }
+
+// Stats returns the core's counters.
+func (c *Core) Stats() Stats { return c.stats }
+
+// Predictor exposes the branch predictor (for reporting).
+func (c *Core) Predictor() *Gshare { return c.gshare }
+
+// effectiveMLP clamps the benchmark's intrinsic miss parallelism by the
+// window resources: the LSQ bounds in-flight memory operations and the
+// ROB bounds how far ahead the window can run to expose them.
+func (c *Core) effectiveMLP() float64 {
+	mlp := c.gen.MLP()
+	if lim := float64(c.cfg.LSQ) / 8; mlp > lim {
+		mlp = lim
+	}
+	if lim := float64(c.cfg.ROB) / 32; mlp > lim {
+		mlp = lim
+	}
+	if mlp < 1 {
+		mlp = 1
+	}
+	return mlp
+}
+
+// Step consumes and retires one instruction, advancing the local clock.
+func (c *Core) Step() {
+	var r trace.Record
+	c.gen.Next(&r)
+	c.retired++
+	c.stats.Retired++
+	c.clock += 1 / float64(c.cfg.Width)
+
+	// Instruction fetch: one L1I access per new line (sequential
+	// fetches within a line ride the same access). Fetch misses stall
+	// the front end with no overlap.
+	if line := r.PC >> 6; line != c.fetchLine {
+		c.fetchLine = line
+		reply := c.mem.Fetch(c.id, r.PC, int64(c.clock))
+		if !reply.L1Hit {
+			c.stats.FetchMisses++
+			stall := float64(reply.Latency)
+			c.clock += stall
+			c.stats.StallCycles += stall
+		}
+	}
+
+	switch r.Kind {
+	case trace.KindBranch:
+		c.stats.Branches++
+		if !c.gshare.Predict(r.PC, r.Taken) {
+			penalty := float64(c.gshare.Penalty())
+			c.clock += penalty
+			c.stats.StallCycles += penalty
+		}
+	case trace.KindLoad:
+		c.stats.Loads++
+		reply := c.mem.Access(c.id, r.Addr, false, int64(c.clock))
+		if !reply.L1Hit {
+			c.stats.L1Misses++
+			stall := float64(reply.Latency) / c.effectiveMLP()
+			c.clock += stall
+			c.stats.StallCycles += stall
+		}
+	case trace.KindStore:
+		c.stats.Stores++
+		reply := c.mem.Access(c.id, r.Addr, true, int64(c.clock))
+		if !reply.L1Hit {
+			c.stats.L1Misses++
+			stall := float64(reply.Latency) / (4 * c.effectiveMLP())
+			c.clock += stall
+			c.stats.StallCycles += stall
+		}
+	}
+}
+
+// ResetStats restarts IPC accounting and zeroes counters while keeping
+// microarchitectural state (predictor, caches, clock) warm. Used at the
+// end of the warm-up period.
+func (c *Core) ResetStats() {
+	c.snapRetired = c.retired
+	c.snapClock = c.clock
+	c.stats = Stats{}
+}
+
+// FastForward advances the local clock without retiring instructions
+// (used to model initialisation skipping).
+func (c *Core) FastForward(cycles float64) { c.clock += cycles }

@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Tables 1-4, Figures 5-16) plus the ablations
+// listed in DESIGN.md §7. A Runner memoises simulation runs so that
+// figures sharing the same underlying experiments (e.g. Figures 5-7 all
+// consume the fourteen two-core runs per scheme) execute each run once.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// DefaultThreshold is the paper's operating point for Cooperative
+// Partitioning's T parameter (Section 5.1).
+const DefaultThreshold = 0.05
+
+// Thresholds is the sweep of Figures 11-13.
+var Thresholds = []float64{0, 0.01, 0.05, 0.10, 0.20}
+
+// Config parameterises a Runner.
+type Config struct {
+	Scale sim.Scale
+	Seed  uint64
+	// Threshold for CoopPart/DynCPE runs; DefaultThreshold if zero.
+	Threshold float64
+}
+
+// Runner executes and memoises simulation runs.
+type Runner struct {
+	cfg Config
+
+	mu       sync.Mutex
+	runs     map[runKey]*sim.Results
+	alone    map[aloneKey]*sim.Results
+	profiles map[aloneKey]partition.CoreProfile
+}
+
+type runKey struct {
+	group     string
+	scheme    sim.SchemeKind
+	threshold float64
+}
+
+type aloneKey struct {
+	benchmark string
+	cores     int
+}
+
+// NewRunner builds a Runner; a zero-value Config gets the test scale,
+// seed 1 and the paper's threshold.
+func NewRunner(cfg Config) *Runner {
+	if cfg.Scale.Name == "" {
+		cfg.Scale = sim.TestScale()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	return &Runner{
+		cfg:      cfg,
+		runs:     make(map[runKey]*sim.Results),
+		alone:    make(map[aloneKey]*sim.Results),
+		profiles: make(map[aloneKey]partition.CoreProfile),
+	}
+}
+
+// Scale returns the runner's simulation scale.
+func (r *Runner) Scale() sim.Scale { return r.cfg.Scale }
+
+// AloneResults returns (memoised) the solo run of a benchmark on the
+// LLC geometry used by groups of the given core count.
+func (r *Runner) AloneResults(benchmark string, cores int) (*sim.Results, error) {
+	key := aloneKey{benchmark, cores}
+	r.mu.Lock()
+	res, ok := r.alone[key]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := sim.RunAlone(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.alone[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// AloneIPC returns a benchmark's alone IPC for Equation 1.
+func (r *Runner) AloneIPC(benchmark string, cores int) (float64, error) {
+	res, err := r.AloneResults(benchmark, cores)
+	if err != nil {
+		return 0, err
+	}
+	return res.IPC[0], nil
+}
+
+// Profile returns (memoised) the per-phase utility profile of a
+// benchmark for Dynamic CPE.
+func (r *Runner) Profile(benchmark string, cores int) (partition.CoreProfile, error) {
+	key := aloneKey{benchmark, cores}
+	r.mu.Lock()
+	p, ok := r.profiles[key]
+	r.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := sim.ProfileBenchmark(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
+	if err != nil {
+		return partition.CoreProfile{}, err
+	}
+	r.mu.Lock()
+	r.profiles[key] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// RunGroup executes (memoised) one group under one scheme at the
+// runner's threshold.
+func (r *Runner) RunGroup(g workload.Group, scheme sim.SchemeKind) (*sim.Results, error) {
+	return r.RunGroupThreshold(g, scheme, r.cfg.Threshold)
+}
+
+// RunGroupThreshold is RunGroup with an explicit CoopPart threshold
+// (Figures 11-13 sweep it).
+func (r *Runner) RunGroupThreshold(g workload.Group, scheme sim.SchemeKind, threshold float64) (*sim.Results, error) {
+	key := runKey{g.Name, scheme, threshold}
+	r.mu.Lock()
+	res, ok := r.runs[key]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+
+	cfg := sim.RunConfig{
+		Scale:     r.cfg.Scale,
+		Scheme:    scheme,
+		Group:     g,
+		Threshold: threshold,
+		Seed:      r.cfg.Seed,
+	}
+	if threshold == 0 {
+		cfg.Threshold = -1 // explicit zero (sim treats 0 as "default")
+	}
+	if scheme == sim.DynCPE {
+		for _, b := range g.Benchmarks {
+			p, err := r.Profile(b, len(g.Benchmarks))
+			if err != nil {
+				return nil, err
+			}
+			cfg.Profiles = append(cfg.Profiles, p)
+		}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.runs[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// WeightedSpeedup computes Equation 1 for one run.
+func (r *Runner) WeightedSpeedup(res *sim.Results) (float64, error) {
+	alone := make(map[string]float64, len(res.Benchmarks))
+	for _, b := range res.Benchmarks {
+		ipc, err := r.AloneIPC(b, len(res.Benchmarks))
+		if err != nil {
+			return 0, err
+		}
+		alone[b] = ipc
+	}
+	return res.WeightedSpeedup(alone)
+}
+
+// groupsFor returns the paper's group list for a core count.
+func groupsFor(cores int) ([]workload.Group, error) {
+	switch cores {
+	case 2:
+		return workload.Groups2, nil
+	case 4:
+		return workload.Groups4, nil
+	default:
+		return nil, fmt.Errorf("experiments: no groups for %d cores", cores)
+	}
+}

@@ -1,0 +1,43 @@
+package partition
+
+// FairShare is the statically-partitioned comparison scheme: every core
+// holds an equal share of the ways for the whole run, regardless of its
+// memory behaviour. Data is not way-aligned, so all tag ways are
+// consulted on every access and every way stays powered — Fair Share is
+// the normalisation baseline for both energy figures.
+type FairShare struct {
+	Harness
+	quotas []int
+}
+
+// NewFairShare builds the static equal-share scheme.
+func NewFairShare(cfg Config) *FairShare {
+	f := &FairShare{Harness: NewHarness(cfg)}
+	f.quotas = make([]int, f.n)
+	share := f.l2.Ways() / f.n
+	extra := f.l2.Ways() % f.n
+	for i := range f.quotas {
+		f.quotas[i] = share
+		if i < extra {
+			f.quotas[i]++
+		}
+	}
+	return f
+}
+
+// Name implements Scheme.
+func (f *FairShare) Name() string { return "FairShare" }
+
+// Access implements Scheme.
+func (f *FairShare) Access(core int, addr uint64, isWrite bool, now int64) Result {
+	return f.quotaAccess(core, addr, isWrite, now, f.quotas, nil, nil)
+}
+
+// Decide implements Scheme; the partition is fixed.
+func (f *FairShare) Decide(now int64) { f.stats.Decisions++ }
+
+// PoweredWayEquiv implements Scheme: everything stays on.
+func (f *FairShare) PoweredWayEquiv() float64 { return float64(f.l2.Ways()) }
+
+// Allocations implements Scheme.
+func (f *FairShare) Allocations() []int { return append([]int(nil), f.quotas...) }

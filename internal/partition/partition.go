@@ -1,0 +1,356 @@
+// Package partition implements the shared-LLC management schemes the
+// paper compares against (Section 3.4):
+//
+//   - Unmanaged: no partitioning; cores compete freely (baseline).
+//   - Fair Share: static equal way quotas per core.
+//   - UCP: utility-based cache partitioning (Qureshi & Patt) with the
+//     look-ahead algorithm, quotas enforced through replacement.
+//   - Dynamic CPE: the profile-driven, set-and-way configurable
+//     energy-oriented partitioning of Reddy & Petrov, extended to
+//     dynamic reconfiguration as the paper describes, with immediate
+//     flushing on every repartition.
+//   - PIPP: promotion/insertion pseudo-partitioning (Xie & Loh), an
+//     extension beyond the paper's evaluated schemes, cited in its
+//     related work.
+//
+// The paper's own scheme, Cooperative Partitioning, lives in
+// internal/core and implements the same Scheme interface.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/umon"
+)
+
+// Result describes one LLC access for timing and energy accounting.
+type Result struct {
+	Hit           bool
+	TagsConsulted int   // tag ways probed (dynamic energy)
+	Latency       int64 // cycles until data available
+	Writebacks    int   // dirty lines sent to memory by this access
+	PermCheck     bool  // RAP/WAP registers consulted
+	UMONSampled   bool  // a utility monitor recorded this access
+	TakeoverOps   int   // takeover bit-vector operations performed
+}
+
+// Scheme is a shared last-level cache under some partitioning policy.
+// Implementations are single-goroutine, like the rest of the simulator.
+type Scheme interface {
+	// Name identifies the scheme ("UCP", "CoopPart", ...).
+	Name() string
+	// Access performs one LLC access (addr is a byte address) by core
+	// at time now and returns its timing/energy outcome.
+	Access(core int, addr uint64, isWrite bool, now int64) Result
+	// Decide runs the scheme's periodic partitioning decision.
+	Decide(now int64)
+	// PoweredWayEquiv returns how many way-equivalents are powered on
+	// (fractional for set-partitioned schemes).
+	PoweredWayEquiv() float64
+	// Allocations returns the current way allocation per core (logical
+	// quotas for quota-based schemes, owned ways for way-aligned ones).
+	Allocations() []int
+	// Stats exposes the scheme's counters.
+	Stats() *Stats
+	// Transitions exposes way-migration statistics (zero-valued for
+	// schemes that do not migrate ways).
+	Transitions() *TransitionStats
+}
+
+// CoreStats counts per-core LLC events.
+type CoreStats struct {
+	Accesses      uint64
+	Hits          uint64
+	Misses        uint64
+	TagsConsulted uint64 // sum over accesses (avg ways consulted = this/Accesses)
+}
+
+// Stats aggregates scheme counters.
+type Stats struct {
+	PerCore         []CoreStats
+	WritebacksToMem uint64
+	Decisions       uint64
+	Repartitions    uint64 // decisions that changed the allocation
+	FlushedOnDecide uint64 // blocks flushed synchronously at decisions (CPE)
+}
+
+// TotalAccesses sums accesses across cores.
+func (s *Stats) TotalAccesses() uint64 {
+	var n uint64
+	for _, c := range s.PerCore {
+		n += c.Accesses
+	}
+	return n
+}
+
+// AvgWaysConsulted returns the mean number of tag ways probed per
+// access across all cores.
+func (s *Stats) AvgWaysConsulted() float64 {
+	var tags, acc uint64
+	for _, c := range s.PerCore {
+		tags += c.TagsConsulted
+		acc += c.Accesses
+	}
+	if acc == 0 {
+		return 0
+	}
+	return float64(tags) / float64(acc)
+}
+
+// TransitionStats records way-migration behaviour for Figures 14-16.
+type TransitionStats struct {
+	// Fig. 15: way-transfer latency.
+	Completed   uint64 // completed transitions
+	WaysMoved   uint64 // ways transferred by completed transitions
+	TotalCycles int64  // sum of per-way transfer durations
+	Abandoned   uint64 // transitions superseded before completing
+
+	// Fig. 14: events that set takeover bits (Cooperative Partitioning).
+	DonorHits       uint64
+	DonorMisses     uint64
+	RecipientHits   uint64
+	RecipientMisses uint64
+
+	// Fig. 16: lines flushed to memory, bucketed by cycles since the
+	// partitioning decision.
+	FlushedLines   uint64
+	Timeline       []uint64
+	TimelineBucket int64
+}
+
+// NewTransitionStats creates transition stats with a flush timeline of
+// buckets cycles-wide buckets.
+func NewTransitionStats(bucket int64, buckets int) *TransitionStats {
+	if bucket <= 0 {
+		bucket = 1
+	}
+	if buckets <= 0 {
+		buckets = 1
+	}
+	return &TransitionStats{Timeline: make([]uint64, buckets), TimelineBucket: bucket}
+}
+
+// RecordFlush logs n lines flushed dt cycles after the decision.
+func (t *TransitionStats) RecordFlush(dt int64, n int) {
+	t.FlushedLines += uint64(n)
+	if len(t.Timeline) == 0 {
+		return
+	}
+	idx := int(dt / t.TimelineBucket)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(t.Timeline) {
+		idx = len(t.Timeline) - 1
+	}
+	t.Timeline[idx] += uint64(n)
+}
+
+// AvgTransferCycles returns the mean cycles to transfer one way.
+func (t *TransitionStats) AvgTransferCycles() float64 {
+	if t.WaysMoved == 0 {
+		return 0
+	}
+	return float64(t.TotalCycles) / float64(t.WaysMoved)
+}
+
+// TakeoverEventTotal sums the Figure 14 event classes.
+func (t *TransitionStats) TakeoverEventTotal() uint64 {
+	return t.DonorHits + t.DonorMisses + t.RecipientHits + t.RecipientMisses
+}
+
+// Config carries everything a scheme needs to operate the shared LLC.
+type Config struct {
+	Cache    cache.Config
+	NumCores int
+	DRAM     *mem.DRAM
+	// UMONSampling is the set-sampling ratio for schemes that monitor
+	// utility (UCP, Cooperative Partitioning). 1 monitors every set.
+	UMONSampling int
+	// MinAllocWays is the per-core way guarantee used by the lookahead
+	// algorithms (UCP uses 1).
+	MinAllocWays int
+	// Threshold is the paper's T parameter for Cooperative
+	// Partitioning's Algorithm 1.
+	Threshold float64
+	// TimelineBucket/TimelineBuckets shape the Fig. 16 flush histogram.
+	TimelineBucket  int64
+	TimelineBuckets int
+
+	// Ablation switches (DESIGN.md §7). RecipientMissOnly makes
+	// Cooperative Partitioning set takeover bits only on recipient
+	// misses (UCP-style convergence) instead of on every donor or
+	// recipient access — isolating why cooperative takeover is faster.
+	RecipientMissOnly bool
+	// DisableGating keeps unallocated ways powered, isolating the
+	// static-energy contribution of gated-Vdd way power-off.
+	DisableGating bool
+	// RandomVictim makes Cooperative Partitioning choose its fill
+	// victim pseudo-randomly among the core's writable ways instead of
+	// by LRU — the degenerate placement Section 2.5 compares the
+	// way-aligned restriction against.
+	RandomVictim bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Cache.Validate(); err != nil {
+		return err
+	}
+	if c.NumCores <= 0 {
+		return fmt.Errorf("partition: NumCores = %d", c.NumCores)
+	}
+	if c.NumCores > c.Cache.Ways {
+		return fmt.Errorf("partition: %d cores exceed %d ways", c.NumCores, c.Cache.Ways)
+	}
+	if c.DRAM == nil {
+		return fmt.Errorf("partition: DRAM is nil")
+	}
+	if c.Threshold < 0 || c.Threshold > 1 {
+		return fmt.Errorf("partition: threshold %v outside [0,1]", c.Threshold)
+	}
+	return nil
+}
+
+// withDefaults fills unset optional fields.
+func (c Config) withDefaults() Config {
+	if c.UMONSampling <= 0 {
+		c.UMONSampling = 1
+	}
+	if c.MinAllocWays <= 0 {
+		c.MinAllocWays = 1
+	}
+	if c.TimelineBucket <= 0 {
+		c.TimelineBucket = 10000
+	}
+	if c.TimelineBuckets <= 0 {
+		c.TimelineBuckets = 64
+	}
+	return c
+}
+
+// Harness holds the machinery shared by every scheme: the physical
+// cache, the memory behind it, per-core statistics and transition
+// tracking. Schemes in this package embed it; external schemes
+// (Cooperative Partitioning in internal/core) use the exported
+// accessors.
+type Harness struct {
+	cfg   Config
+	l2    *cache.Cache
+	dram  *mem.DRAM
+	n     int
+	stats Stats
+	trans *TransitionStats
+}
+
+// NewHarness validates cfg, applies defaults and builds the shared
+// machinery. It panics on invalid configuration (experiment constants).
+func NewHarness(cfg Config) Harness {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	cfg = cfg.withDefaults()
+	return Harness{
+		cfg:   cfg,
+		l2:    cache.New(cfg.Cache),
+		dram:  cfg.DRAM,
+		n:     cfg.NumCores,
+		stats: Stats{PerCore: make([]CoreStats, cfg.NumCores)},
+		trans: NewTransitionStats(cfg.TimelineBucket, cfg.TimelineBuckets),
+	}
+}
+
+// Cache exposes the underlying cache (tests and reporting).
+func (b *Harness) Cache() *cache.Cache { return b.l2 }
+
+// Stats implements Scheme.
+func (b *Harness) Stats() *Stats { return &b.stats }
+
+// Transitions implements Scheme.
+func (b *Harness) Transitions() *TransitionStats { return b.trans }
+
+// record tallies one access outcome for a core.
+func (b *Harness) record(core int, hit bool, tags int) {
+	cs := &b.stats.PerCore[core]
+	cs.Accesses++
+	cs.TagsConsulted += uint64(tags)
+	if hit {
+		cs.Hits++
+	} else {
+		cs.Misses++
+	}
+}
+
+// fill fetches line from memory at time now, returning the read
+// latency and counting the access.
+func (b *Harness) fill(line uint64, now int64) int64 {
+	return b.dram.Read(line, now)
+}
+
+// writeback posts one dirty line to memory.
+func (b *Harness) writeback(line uint64, now int64) {
+	b.dram.Write(line, now)
+	b.stats.WritebacksToMem++
+}
+
+// newMonitors builds one utility monitor per core.
+func (b *Harness) newMonitors() []*umon.Monitor {
+	mons := make([]*umon.Monitor, b.n)
+	for i := range mons {
+		mons[i] = umon.New(umon.Config{
+			Sets:     b.l2.NumSets(),
+			Ways:     b.l2.Ways(),
+			Sampling: b.cfg.UMONSampling,
+		})
+	}
+	return mons
+}
+
+// umonSampled reports whether set falls in a monitored sample.
+func (b *Harness) umonSampled(set int) bool {
+	return set%b.cfg.UMONSampling == 0
+}
+
+// Exported accessors for schemes implemented outside this package.
+
+// Cfg returns the harness configuration (with defaults applied).
+func (b *Harness) Cfg() Config { return b.cfg }
+
+// NumCores returns the number of cores sharing the LLC.
+func (b *Harness) NumCores() int { return b.n }
+
+// Record tallies one access outcome for a core.
+func (b *Harness) Record(core int, hit bool, tags int) { b.record(core, hit, tags) }
+
+// Fill fetches line from memory at now and returns the read latency.
+func (b *Harness) Fill(line uint64, now int64) int64 { return b.fill(line, now) }
+
+// Writeback posts one dirty line to memory.
+func (b *Harness) Writeback(line uint64, now int64) { b.writeback(line, now) }
+
+// NewMonitors builds one utility monitor per core.
+func (b *Harness) NewMonitors() []*umon.Monitor { return b.newMonitors() }
+
+// UMONSampled reports whether set falls in a monitored sample.
+func (b *Harness) UMONSampled(set int) bool { return b.umonSampled(set) }
+
+// Reset zeroes all counters (used at the end of a warm-up period).
+func (s *Stats) Reset() {
+	for i := range s.PerCore {
+		s.PerCore[i] = CoreStats{}
+	}
+	s.WritebacksToMem = 0
+	s.Decisions = 0
+	s.Repartitions = 0
+	s.FlushedOnDecide = 0
+}
+
+// Reset zeroes all transition counters and the flush timeline.
+func (t *TransitionStats) Reset() {
+	for i := range t.Timeline {
+		t.Timeline[i] = 0
+	}
+	*t = TransitionStats{Timeline: t.Timeline, TimelineBucket: t.TimelineBucket}
+}

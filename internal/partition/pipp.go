@@ -1,0 +1,191 @@
+package partition
+
+import "repro/internal/umon"
+
+// PIPP is promotion/insertion pseudo-partitioning (Xie & Loh, ISCA
+// 2009), implemented as an extension beyond the paper's evaluated
+// schemes — Section 6 cites it as the other state-of-the-art way of
+// enforcing partitions without hard quotas. Instead of restricting
+// replacement, PIPP enforces each core's target allocation through the
+// replacement *stack*:
+//
+//   - an incoming line of core i is inserted at stack position
+//     quota[i] - 1 from the LRU end (a core with a large quota inserts
+//     near MRU and its lines survive long; a core with quota 1 inserts
+//     at LRU and its lines are evicted next unless re-used);
+//   - on a hit, a line is promoted by a single position (with
+//     probability 1 in this implementation) rather than jumping to
+//     MRU.
+//
+// Like UCP, quotas come from the look-ahead allocation over utility
+// monitors, every access probes all tag ways, and nothing can be
+// power-gated — PIPP is a performance scheme; it is included to show
+// the Cooperative Partitioning energy results against a second
+// pseudo-partitioning baseline.
+type PIPP struct {
+	Harness
+	mons   []*umon.Monitor
+	quotas []int
+}
+
+// NewPIPP builds the scheme.
+func NewPIPP(cfg Config) *PIPP {
+	p := &PIPP{Harness: NewHarness(cfg)}
+	p.mons = p.NewMonitors()
+	p.quotas = make([]int, p.n)
+	share := p.l2.Ways() / p.n
+	extra := p.l2.Ways() % p.n
+	for i := range p.quotas {
+		p.quotas[i] = share
+		if i < extra {
+			p.quotas[i]++
+		}
+	}
+	return p
+}
+
+// Name implements Scheme.
+func (p *PIPP) Name() string { return "PIPP" }
+
+// Monitors exposes the utility monitors.
+func (p *PIPP) Monitors() []*umon.Monitor { return p.mons }
+
+// stackOrder returns the set's ways ordered LRU-first (invalid ways
+// first, as "below LRU").
+func (p *PIPP) stackOrder(set int) []int {
+	ways := p.l2.Ways()
+	order := make([]int, 0, ways)
+	// Insertion sort by (valid, LRU).
+	for w := 0; w < ways; w++ {
+		order = append(order, w)
+	}
+	less := func(a, b int) bool {
+		ba, bb := p.l2.Block(set, a), p.l2.Block(set, b)
+		if ba.Valid != bb.Valid {
+			return !ba.Valid
+		}
+		return ba.LRU < bb.LRU
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// Access implements Scheme.
+func (p *PIPP) Access(core int, addr uint64, isWrite bool, now int64) Result {
+	line := p.l2.Line(addr)
+	set := p.l2.Index(line)
+	tag := p.l2.TagOf(line)
+	res := Result{TagsConsulted: p.l2.Ways()}
+
+	p.mons[core].Access(set, line)
+	res.UMONSampled = p.umonSampled(set)
+
+	if way, hit := p.l2.Probe(set, tag, p.l2.AllMask()); hit {
+		p.promote(set, way)
+		if isWrite {
+			p.l2.MarkDirty(set, way)
+		}
+		res.Hit = true
+		res.Latency = int64(p.l2.Latency())
+	} else {
+		order := p.stackOrder(set)
+		victim := order[0] // LRU (or an invalid way)
+		ev := p.l2.InstallAt(set, victim, tag, core, isWrite)
+		if ev.Valid && ev.Dirty {
+			p.writeback(ev.Line, now)
+			res.Writebacks++
+		}
+		p.insertAt(set, victim, p.quotas[core]-1)
+		res.Latency = int64(p.l2.Latency()) + p.fill(line, now+int64(p.l2.Latency()))
+	}
+
+	p.record(core, res.Hit, res.TagsConsulted)
+	st := p.l2.Stats()
+	st.Accesses++
+	if res.Hit {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	return res
+}
+
+// promote lifts way by one stack position: swap LRU stamps with the
+// next-more-recent block (if any).
+func (p *PIPP) promote(set, way int) {
+	order := p.stackOrder(set)
+	for i, w := range order {
+		if w != way {
+			continue
+		}
+		if i+1 < len(order) && p.l2.Block(set, order[i+1]).Valid {
+			p.swapLRU(set, way, order[i+1])
+		}
+		return
+	}
+}
+
+// insertAt positions way at `pos` from the LRU end (0 = LRU) by
+// swapping it down from wherever InstallAt left it (MRU).
+func (p *PIPP) insertAt(set, way, pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	for {
+		order := p.stackOrder(set)
+		cur := -1
+		for i, w := range order {
+			if w == way {
+				cur = i
+				break
+			}
+		}
+		if cur <= pos {
+			return
+		}
+		below := order[cur-1]
+		if !p.l2.Block(set, below).Valid {
+			return // already just above the invalid region
+		}
+		p.swapLRU(set, way, below)
+	}
+}
+
+// swapLRU exchanges the recency stamps of two blocks in a set.
+func (p *PIPP) swapLRU(set, a, b int) {
+	ba, bb := p.l2.Block(set, a), p.l2.Block(set, b)
+	// Reinstall stamps via Touch-free direct manipulation: rewrite
+	// both blocks preserving everything but LRU.
+	p.l2.SetLRU(set, a, bb.LRU)
+	p.l2.SetLRU(set, b, ba.LRU)
+}
+
+// Decide implements Scheme: recompute quotas by look-ahead.
+func (p *PIPP) Decide(now int64) {
+	p.stats.Decisions++
+	curves := make([]umon.Curve, p.n)
+	for i, m := range p.mons {
+		curves[i] = m.MissCurve()
+	}
+	next := umon.Lookahead(curves, p.l2.Ways(), p.cfg.MinAllocWays)
+	for _, m := range p.mons {
+		m.Decay()
+	}
+	for i := range next {
+		if next[i] != p.quotas[i] {
+			p.stats.Repartitions++
+			p.quotas = next
+			return
+		}
+	}
+}
+
+// PoweredWayEquiv implements Scheme: PIPP cannot gate ways.
+func (p *PIPP) PoweredWayEquiv() float64 { return float64(p.l2.Ways()) }
+
+// Allocations implements Scheme.
+func (p *PIPP) Allocations() []int { return append([]int(nil), p.quotas...) }

@@ -1,0 +1,133 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPIPPBasicHitMiss(t *testing.T) {
+	p := NewPIPP(testConfig(2))
+	c := p.Cache()
+	a := addr(c, 0, 3, 1)
+	res := p.Access(0, a, false, 0)
+	if res.Hit || res.TagsConsulted != 4 {
+		t.Fatalf("first access: %+v", res)
+	}
+	if !p.Access(0, a, false, 10).Hit {
+		t.Fatal("re-access should hit")
+	}
+	if p.PoweredWayEquiv() != 4 {
+		t.Fatal("PIPP cannot gate ways")
+	}
+}
+
+func TestPIPPInsertionPositionEnforcesQuota(t *testing.T) {
+	p := NewPIPP(testConfig(2))
+	c := p.Cache()
+	// Fill the set with core 0's lines (quota 2, inserted at position 1
+	// from LRU). Then one core 1 line arrives. Core 0's next fills must
+	// evict core-0 lines near the LRU end rather than pushing core 1
+	// out from MRU.
+	for i := 0; i < 4; i++ {
+		p.Access(0, addr(c, 0, 5, i), false, int64(i))
+	}
+	p.Access(1, addr(c, 1, 5, 0), false, 10)
+	// Keep core 1's line warm with a couple of promotions.
+	p.Access(1, addr(c, 1, 5, 0), false, 11)
+	p.Access(1, addr(c, 1, 5, 0), false, 12)
+	// A burst of new core 0 lines: they insert low and churn each other.
+	for i := 10; i < 16; i++ {
+		p.Access(0, addr(c, 0, 5, i), false, int64(20+i))
+	}
+	if !p.Access(1, addr(c, 1, 5, 0), false, 100).Hit {
+		t.Fatal("PIPP insertion failed to protect the promoted line")
+	}
+}
+
+func TestPIPPPromotionIsOneStep(t *testing.T) {
+	p := NewPIPP(testConfig(2))
+	c := p.Cache()
+	// Fill 4 ways; the LRU-most line, after ONE hit, must still be
+	// evicted before lines promoted many times.
+	for i := 0; i < 4; i++ {
+		p.Access(0, addr(c, 0, 2, i), false, int64(i))
+	}
+	// Promote line 3 many times, line 0 once.
+	for k := 0; k < 6; k++ {
+		p.Access(0, addr(c, 0, 2, 3), false, int64(10+k))
+	}
+	p.Access(0, addr(c, 0, 2, 0), false, 20)
+	// Two new fills (insert at pos 1) — evictions take the stack
+	// bottom; line 3 must survive.
+	p.Access(0, addr(c, 0, 2, 8), false, 30)
+	p.Access(0, addr(c, 0, 2, 9), false, 31)
+	if !p.Access(0, addr(c, 0, 2, 3), false, 40).Hit {
+		t.Fatal("heavily promoted line was evicted")
+	}
+}
+
+func TestPIPPDecideMovesQuotas(t *testing.T) {
+	p := NewPIPP(testConfig(2))
+	c := p.Cache()
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		s := rng.Intn(16)
+		p.Access(0, addr(c, 0, s, i%4), false, int64(i))
+		p.Access(1, addr(c, 1, s, 0), false, int64(i))
+	}
+	p.Decide(10000)
+	alloc := p.Allocations()
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("PIPP did not favour the high-utility core: %v", alloc)
+	}
+	if alloc[0]+alloc[1] != 4 {
+		t.Fatalf("PIPP quotas must cover the cache: %v", alloc)
+	}
+}
+
+func TestPIPPStackOrderConsistent(t *testing.T) {
+	p := NewPIPP(testConfig(2))
+	c := p.Cache()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 2000; i++ {
+		p.Access(rng.Intn(2), addr(c, rng.Intn(2), rng.Intn(16), rng.Intn(6)), rng.Intn(3) == 0, int64(i))
+	}
+	// The stack order must be a permutation of the ways with
+	// non-decreasing LRU stamps over the valid suffix.
+	for set := 0; set < 16; set++ {
+		order := p.stackOrder(set)
+		seen := map[int]bool{}
+		var prev uint64
+		inValid := false
+		for _, w := range order {
+			if seen[w] {
+				t.Fatalf("set %d: way %d repeated in stack order", set, w)
+			}
+			seen[w] = true
+			b := c.Block(set, w)
+			if b.Valid {
+				if inValid && b.LRU < prev {
+					t.Fatalf("set %d: stack order not sorted by recency", set)
+				}
+				inValid = true
+				prev = b.LRU
+			} else if inValid {
+				t.Fatalf("set %d: invalid way after valid ways in stack order", set)
+			}
+		}
+		if len(seen) != 4 {
+			t.Fatalf("set %d: order missing ways", set)
+		}
+	}
+}
+
+func TestPIPPImplementsScheme(t *testing.T) {
+	var s Scheme = NewPIPP(testConfig(2))
+	if s.Name() != "PIPP" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	s.Decide(0)
+	if len(s.Allocations()) != 2 {
+		t.Fatal("allocations wrong")
+	}
+}

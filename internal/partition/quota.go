@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"repro/internal/cache"
+	"repro/internal/umon"
+)
+
+// This file implements the quota-enforced access path shared by Fair
+// Share and UCP. Both schemes keep logical per-core way quotas: data is
+// not way-aligned, every access probes all tag ways, and the quota is
+// enforced by the replacement policy (as in Qureshi & Patt): a core
+// below its quota victimises the LRU block of an over-quota core, while
+// a core at or above quota victimises its own LRU block.
+
+// victimEvent reports which block a quota miss displaced, so UCP can
+// track way-migration progress.
+type victimEvent struct {
+	set       int
+	victimWay int
+	owner     int // previous owner of the victim block (NoOwner if empty)
+	dirty     bool
+	valid     bool
+}
+
+// quotaVictim picks the replacement way in set for core under quotas.
+func (b *Harness) quotaVictim(set, core int, quotas []int) int {
+	mask := b.l2.AllMask()
+	// Invalid ways first: no one loses data.
+	if w := b.l2.Victim(set, mask); w >= 0 && !b.l2.Block(set, w).Valid {
+		return w
+	}
+	owned := b.l2.CountOwned(set, core, mask)
+	if owned < quotas[core] {
+		// Take the LRU block among cores holding more than their quota.
+		best, bestLRU := -1, ^uint64(0)
+		for w := 0; w < b.l2.Ways(); w++ {
+			blk := b.l2.Block(set, w)
+			if !blk.Valid || blk.Owner == core {
+				continue
+			}
+			if blk.Owner >= 0 && blk.Owner < b.n &&
+				b.l2.CountOwned(set, blk.Owner, mask) <= quotas[blk.Owner] {
+				continue
+			}
+			if blk.LRU < bestLRU {
+				best, bestLRU = w, blk.LRU
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		// No over-quota victim: take any other core's LRU block.
+		best, bestLRU = -1, ^uint64(0)
+		for w := 0; w < b.l2.Ways(); w++ {
+			blk := b.l2.Block(set, w)
+			if !blk.Valid || blk.Owner == core {
+				continue
+			}
+			if blk.LRU < bestLRU {
+				best, bestLRU = w, blk.LRU
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	// At/above quota (or the set holds only this core's data): own LRU,
+	// falling back to global LRU.
+	if w := b.l2.VictimOwnedBy(set, core, mask); w >= 0 {
+		return w
+	}
+	return b.l2.Victim(set, mask)
+}
+
+// quotaAccess performs one access under way quotas. mons, when non-nil,
+// receive the access for utility monitoring. onVictim, when non-nil, is
+// called with the displaced block's details on a miss fill.
+func (b *Harness) quotaAccess(core int, addr uint64, isWrite bool, now int64,
+	quotas []int, mons []*umon.Monitor, onVictim func(victimEvent)) Result {
+
+	line := b.l2.Line(addr)
+	set := b.l2.Index(line)
+	tag := b.l2.TagOf(line)
+	res := Result{TagsConsulted: b.l2.Ways()}
+
+	if mons != nil {
+		mons[core].Access(set, line)
+		res.UMONSampled = b.umonSampled(set)
+	}
+
+	if way, hit := b.l2.Probe(set, tag, b.l2.AllMask()); hit {
+		b.l2.Touch(set, way)
+		if isWrite {
+			b.l2.MarkDirty(set, way)
+		}
+		res.Hit = true
+		res.Latency = int64(b.l2.Latency())
+	} else {
+		victim := b.quotaVictim(set, core, quotas)
+		prev := b.l2.Block(set, victim)
+		ev := b.l2.InstallAt(set, victim, tag, core, isWrite)
+		if ev.Valid && ev.Dirty {
+			b.writeback(ev.Line, now)
+			res.Writebacks++
+		}
+		if onVictim != nil {
+			onVictim(victimEvent{
+				set: set, victimWay: victim,
+				owner: prevOwner(prev), dirty: ev.Valid && ev.Dirty, valid: ev.Valid,
+			})
+		}
+		res.Latency = int64(b.l2.Latency()) + b.fill(line, now+int64(b.l2.Latency()))
+	}
+
+	b.record(core, res.Hit, res.TagsConsulted)
+	st := b.l2.Stats()
+	st.Accesses++
+	if res.Hit {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	return res
+}
+
+func prevOwner(blk cache.Block) int {
+	if !blk.Valid {
+		return cache.NoOwner
+	}
+	return blk.Owner
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// Results captures everything one run produces.
+type Results struct {
+	Scheme     string
+	Group      string
+	Benchmarks []string
+
+	// IPC[i] is core i's instructions per cycle over its measured
+	// region; MPKI[i] its L2 misses per kilo-instruction.
+	IPC  []float64
+	MPKI []float64
+
+	// Cycles is the wall-clock length of the measured region (cycles of
+	// the slowest core).
+	Cycles int64
+
+	// Dynamic and Static are the LLC energies in the meter's units,
+	// integrated over the whole run (all applications keep executing
+	// until the last reaches its instruction budget, as in the paper).
+	Dynamic float64
+	Static  float64
+	// StaticPower is Static divided by the run's cycles: the
+	// time-averaged leakage power. The paper's Figures 7/10/13 report
+	// static energy with Unmanaged, UCP and Fair Share pinned at
+	// exactly 1.0, which is this quantity (run lengths differ between
+	// schemes, powered-way fractions are what the figure compares).
+	StaticPower float64
+
+	AvgWaysConsulted float64
+	L1MissRate       []float64
+	Allocations      []int
+
+	SchemeStats partition.Stats
+	Transition  partition.TransitionStats
+	DRAM        mem.Stats
+
+	// Profile holds core 0's per-phase utility curves when
+	// CaptureProfile was set.
+	Profile partition.CoreProfile
+}
+
+// WeightedSpeedup computes Equation 1 against per-benchmark alone IPCs:
+// sum over cores of IPC_shared / IPC_alone.
+func (r *Results) WeightedSpeedup(alone map[string]float64) (float64, error) {
+	var ws float64
+	for i, name := range r.Benchmarks {
+		a, ok := alone[name]
+		if !ok || a <= 0 {
+			return 0, fmt.Errorf("sim: missing alone IPC for %q", name)
+		}
+		ws += r.IPC[i] / a
+	}
+	return ws, nil
+}
+
+// cloneStats deep-copies scheme statistics.
+func cloneStats(s *partition.Stats) partition.Stats {
+	out := *s
+	out.PerCore = append([]partition.CoreStats(nil), s.PerCore...)
+	return out
+}
+
+// cloneTransitions deep-copies transition statistics.
+func cloneTransitions(t *partition.TransitionStats) partition.TransitionStats {
+	out := *t
+	out.Timeline = append([]uint64(nil), t.Timeline...)
+	return out
+}
+
+// SoloGroup wraps one benchmark as a single-application "group" for
+// alone-IPC and profiling runs.
+func SoloGroup(benchmark string) workload.Group {
+	return workload.Group{Name: "solo-" + benchmark, Benchmarks: []string{benchmark}}
+}
+
+// RunAlone measures a benchmark's alone IPC: the application running by
+// itself with the whole LLC (Unmanaged, no contention), as Equation 1's
+// denominator requires. The LLC geometry must match the shared runs it
+// will be compared with, so the core count of the target group is part
+// of the key.
+func RunAlone(benchmark string, sc Scale, coresInGroup int, seed uint64) (*Results, error) {
+	l2, err := sc.L2For(coresInGroup)
+	if err != nil {
+		return nil, err
+	}
+	// Build a scale whose two-core L2 is the target geometry, then run
+	// one core on it.
+	solo := sc
+	solo.L2TwoCore = l2
+	return Run(RunConfig{
+		Scale:  solo,
+		Scheme: Unmanaged,
+		Group:  SoloGroup(benchmark),
+		Seed:   seed,
+	})
+}
+
+// ProfileBenchmark runs a benchmark solo and captures its per-phase
+// utility curves for Dynamic CPE (the paper's offline profiling step).
+func ProfileBenchmark(benchmark string, sc Scale, coresInGroup int, seed uint64) (partition.CoreProfile, error) {
+	l2, err := sc.L2For(coresInGroup)
+	if err != nil {
+		return partition.CoreProfile{}, err
+	}
+	solo := sc
+	solo.L2TwoCore = l2
+	res, err := Run(RunConfig{
+		Scale:          solo,
+		Scheme:         Unmanaged,
+		Group:          SoloGroup(benchmark),
+		Seed:           seed,
+		CaptureProfile: true,
+	})
+	if err != nil {
+		return partition.CoreProfile{}, err
+	}
+	return res.Profile, nil
+}

@@ -1,0 +1,151 @@
+// Package sim assembles the full CMP system of Table 2 — out-of-order
+// cores with private L1 data caches, a shared partitioned L2, utility
+// monitors, and DRAM — and runs multiprogrammed workloads on it under
+// any of the five partitioning schemes.
+//
+// Two simulation scales are provided. FullScale reproduces Table 2
+// verbatim (2MB/4MB LLC, 5M-cycle phases, 1B instructions per
+// application); it is faithful but takes hours per figure. TestScale
+// shrinks every structure by the same factor — 32x fewer LLC sets, the
+// same associativities, phase intervals and footprints scaled alike —
+// so that the relative behaviour (utility curves in way units, phase
+// counts per run, takeover durations in phases) is preserved while a
+// full figure regenerates in seconds. DESIGN.md §5 records this
+// substitution.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+)
+
+// Scale fixes every size parameter of the simulated system.
+type Scale struct {
+	Name string
+
+	// L1D and L1I are the per-core private first-level caches.
+	L1D cache.Config
+	L1I cache.Config
+	// L2SizeTwoCore/L2SizeFourCore with the associativities of Table 2
+	// fix the shared cache; latency comes from the table as well.
+	L2TwoCore  cache.Config
+	L2FourCore cache.Config
+
+	Mem mem.Config
+
+	// PhaseCycles is the monitoring/partitioning interval.
+	PhaseCycles int64
+	// InstrPerApp is the measured instruction budget per application.
+	InstrPerApp uint64
+	// WarmupInstr is the per-application cache/predictor warm-up budget.
+	WarmupInstr uint64
+	// UMONSampling is the utility-monitor set-sampling ratio.
+	UMONSampling int
+	// MSHRs bounds each core's outstanding L2 misses.
+	MSHRs int
+}
+
+// FullScale is the paper's Table 2 configuration.
+func FullScale() Scale {
+	return Scale{
+		Name: "full",
+		L1D:  cache.Config{Name: "L1D", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, Latency: 2},
+		L1I:  cache.Config{Name: "L1I", SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, Latency: 2},
+		L2TwoCore: cache.Config{
+			Name: "L2", SizeBytes: 2 << 20, LineBytes: 64, Ways: 8, Latency: 15},
+		L2FourCore: cache.Config{
+			Name: "L2", SizeBytes: 4 << 20, LineBytes: 64, Ways: 16, Latency: 20},
+		Mem:          mem.DefaultConfig(),
+		PhaseCycles:  5_000_000,
+		InstrPerApp:  1_000_000_000,
+		WarmupInstr:  10_000_000,
+		UMONSampling: 32,
+		MSHRs:        128,
+	}
+}
+
+// TestScale is FullScale with the LLC capacity divided by 32 (sets)
+// while keeping associativities, latencies and the phase-to-transfer-
+// time ratios: 64KB/8-way and 128KB/16-way LLCs (128 sets each, like
+// the full hierarchy's 4096) and proportionally shorter phases and
+// instruction budgets. The L1D shrinks less (4KB, 1/8 of full scale):
+// it must still hold each application's L1-resident locality region
+// comfortably, or traffic that the paper's 32KB L1 would absorb floods
+// the scaled LLC and distorts the utility-curve shapes that the
+// partitioning algorithms discriminate on.
+func TestScale() Scale {
+	return Scale{
+		Name: "test",
+		L1D:  cache.Config{Name: "L1D", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4, Latency: 2},
+		L1I:  cache.Config{Name: "L1I", SizeBytes: 4 << 10, LineBytes: 64, Ways: 4, Latency: 2},
+		L2TwoCore: cache.Config{
+			Name: "L2", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, Latency: 15},
+		L2FourCore: cache.Config{
+			Name: "L2", SizeBytes: 128 << 10, LineBytes: 64, Ways: 16, Latency: 20},
+		Mem:          mem.DefaultConfig(),
+		PhaseCycles:  100_000,
+		InstrPerApp:  1_200_000,
+		WarmupInstr:  100_000,
+		UMONSampling: 1,
+		MSHRs:        16,
+	}
+}
+
+// UnitScale is a miniature configuration for unit tests: very short
+// runs on the TestScale hierarchy.
+func UnitScale() Scale {
+	s := TestScale()
+	s.Name = "unit"
+	s.PhaseCycles = 20_000
+	s.InstrPerApp = 120_000
+	s.WarmupInstr = 10_000
+	return s
+}
+
+// L2For returns the shared-cache configuration for a core count.
+func (s Scale) L2For(cores int) (cache.Config, error) {
+	switch {
+	case cores <= 2:
+		return s.L2TwoCore, nil
+	case cores <= 4:
+		return s.L2FourCore, nil
+	default:
+		return cache.Config{}, fmt.Errorf("sim: no L2 configuration for %d cores", cores)
+	}
+}
+
+// InstrScale is the run length relative to the paper's 1B instructions.
+func (s Scale) InstrScale() float64 {
+	return float64(s.InstrPerApp) / 1e9
+}
+
+// PhaseScale is the partitioning interval relative to the paper's 5M
+// cycles; workload phase-oscillation periods scale with it.
+func (s Scale) PhaseScale() float64 {
+	return float64(s.PhaseCycles) / 5e6
+}
+
+// Validate reports scale errors.
+func (s Scale) Validate() error {
+	if err := s.L1D.Validate(); err != nil {
+		return err
+	}
+	if err := s.L1I.Validate(); err != nil {
+		return err
+	}
+	if err := s.L2TwoCore.Validate(); err != nil {
+		return err
+	}
+	if err := s.L2FourCore.Validate(); err != nil {
+		return err
+	}
+	if err := s.Mem.Validate(); err != nil {
+		return err
+	}
+	if s.PhaseCycles <= 0 || s.InstrPerApp == 0 {
+		return fmt.Errorf("sim: non-positive run parameters in scale %q", s.Name)
+	}
+	return nil
+}

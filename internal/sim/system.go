@@ -1,0 +1,427 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/mem"
+	"repro/internal/partition"
+	"repro/internal/umon"
+	"repro/internal/workload"
+)
+
+// SchemeKind names one of the five compared LLC schemes.
+type SchemeKind string
+
+// The five schemes of Section 3.4.
+const (
+	Unmanaged SchemeKind = "Unmanaged"
+	FairShare SchemeKind = "FairShare"
+	DynCPE    SchemeKind = "DynCPE"
+	UCP       SchemeKind = "UCP"
+	CoopPart  SchemeKind = "CoopPart"
+	// PIPP is an extension beyond the paper's five compared schemes:
+	// promotion/insertion pseudo-partitioning (Xie & Loh, cited in the
+	// paper's related work).
+	PIPP SchemeKind = "PIPP"
+)
+
+// AllSchemes lists the paper's five schemes in its plotting order
+// (PIPP, being an extension, is not part of the reproduced figures).
+var AllSchemes = []SchemeKind{Unmanaged, FairShare, DynCPE, UCP, CoopPart}
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Scale  Scale
+	Scheme SchemeKind
+	Group  workload.Group
+	// Threshold is Cooperative Partitioning's T (Algorithm 1), also
+	// used by Dynamic CPE's profile-driven allocation. The paper's
+	// default is 0.05.
+	Threshold float64
+	Seed      uint64
+	// Profiles drives Dynamic CPE (one per core, from ProfileBenchmark).
+	Profiles []partition.CoreProfile
+	// CaptureProfile records core 0's per-phase utility curves into
+	// Results.Profile (used to generate CPE profiles from solo runs).
+	CaptureProfile bool
+	// EnergyParams overrides the default energy constants when non-nil.
+	EnergyParams *energy.Params
+	// RecipientMissOnly and DisableGating are the ablation switches of
+	// DESIGN.md §7, forwarded to the scheme.
+	RecipientMissOnly bool
+	DisableGating     bool
+	RandomVictim      bool
+	// Drowsy enables the drowsy-cache extension on Cooperative
+	// Partitioning runs (Section 6 of the paper: complementary
+	// state-preserving low-leakage mode for idle allocated ways).
+	Drowsy *core.DrowsyConfig
+}
+
+// System is one assembled CMP: cores, private L1Ds, the shared scheme-
+// managed L2, MSHRs, DRAM and the energy meter.
+type System struct {
+	cfg    RunConfig
+	cores  []*cpu.Core
+	l1     []*cache.Cache
+	l1i    []*cache.Cache
+	mshr   []*cache.MSHRFile
+	scheme partition.Scheme
+	dram   *mem.DRAM
+	meter  *energy.Meter
+
+	nextDecision int64
+	lineBytes    int
+	measureFrom  int64 // clock at the end of warm-up (energy reset point)
+
+	profMon    *umon.Monitor
+	profPhases []partition.ProfilePhase
+	profAccs   uint64
+}
+
+// NewSystem assembles a system for cfg.
+func NewSystem(cfg RunConfig) (*System, error) {
+	if err := cfg.Scale.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Group.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(cfg.Group.Benchmarks)
+	l2cfg, err := cfg.Scale.L2For(n)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Threshold == 0 && (cfg.Scheme == CoopPart || cfg.Scheme == DynCPE) {
+		// The paper's operating point; explicit zero is expressed by a
+		// negative value.
+		cfg.Threshold = 0.05
+	}
+	if cfg.Threshold < 0 {
+		cfg.Threshold = 0
+	}
+
+	dram := mem.New(cfg.Scale.Mem)
+	pcfg := partition.Config{
+		Cache:             l2cfg,
+		NumCores:          n,
+		DRAM:              dram,
+		UMONSampling:      cfg.Scale.UMONSampling,
+		MinAllocWays:      1,
+		Threshold:         cfg.Threshold,
+		TimelineBucket:    cfg.Scale.PhaseCycles / 25,
+		TimelineBuckets:   64,
+		RecipientMissOnly: cfg.RecipientMissOnly,
+		DisableGating:     cfg.DisableGating,
+		RandomVictim:      cfg.RandomVictim,
+	}
+
+	var scheme partition.Scheme
+	switch cfg.Scheme {
+	case Unmanaged:
+		scheme = partition.NewUnmanaged(pcfg)
+	case FairShare:
+		scheme = partition.NewFairShare(pcfg)
+	case UCP:
+		scheme = partition.NewUCP(pcfg)
+	case PIPP:
+		scheme = partition.NewPIPP(pcfg)
+	case DynCPE:
+		scheme = partition.NewCPE(pcfg, cfg.Profiles)
+	case CoopPart:
+		cp := core.New(pcfg)
+		if cfg.Drowsy != nil {
+			cp.EnableDrowsy(*cfg.Drowsy)
+		}
+		scheme = cp
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %q", cfg.Scheme)
+	}
+
+	params := energy.DefaultParams()
+	if cfg.EnergyParams != nil {
+		params = *cfg.EnergyParams
+	}
+
+	s := &System{
+		cfg:          cfg,
+		scheme:       scheme,
+		dram:         dram,
+		meter:        energy.NewMeter(params, l2cfg.Ways),
+		nextDecision: cfg.Scale.PhaseCycles,
+		lineBytes:    l2cfg.LineBytes,
+	}
+	wayLines := l2cfg.Sets()
+	for i, name := range cfg.Group.Benchmarks {
+		b := workload.MustGet(name)
+		gen := b.NewGenerator(workload.Params{
+			CoreID:     i,
+			LineBytes:  l2cfg.LineBytes,
+			WayLines:   wayLines,
+			InstrScale: cfg.Scale.InstrScale(),
+			PhaseScale: cfg.Scale.PhaseScale(),
+			Seed:       cfg.Seed,
+		})
+		s.l1 = append(s.l1, cache.New(cfg.Scale.L1D))
+		s.l1i = append(s.l1i, cache.New(cfg.Scale.L1I))
+		s.mshr = append(s.mshr, cache.NewMSHRFile(cfg.Scale.MSHRs))
+		s.cores = append(s.cores, cpu.NewCore(i, cpu.DefaultConfig(), gen, s))
+	}
+	if cfg.CaptureProfile {
+		s.profMon = umon.New(umon.Config{Sets: l2cfg.Sets(), Ways: l2cfg.Ways, Sampling: 1})
+	}
+	return s, nil
+}
+
+// Scheme exposes the LLC scheme (reporting/tests).
+func (s *System) Scheme() partition.Scheme { return s.scheme }
+
+// Meter exposes the energy meter.
+func (s *System) Meter() *energy.Meter { return s.meter }
+
+// Access implements cpu.MemPort: the L1D in front of the shared L2.
+func (s *System) Access(coreID int, addr uint64, isWrite bool, now int64) cpu.AccessReply {
+	l1 := s.l1[coreID]
+	line := l1.Line(addr)
+	ev, hit := l1.Access(line, coreID, isWrite)
+	if hit {
+		return cpu.AccessReply{Latency: int64(l1.Latency()), L1Hit: true}
+	}
+
+	// Dirty L1 victim: write it back into the L2 (write-allocate; the
+	// latency is hidden by the write buffer, only energy and cache
+	// state matter).
+	if ev.Valid && ev.Dirty {
+		wbAddr := ev.Line << uint(log2(s.lineBytes))
+		wbRes := s.scheme.Access(coreID, wbAddr, true, now)
+		s.chargeAccess(wbRes, true, now)
+	}
+
+	// Fill from the L2 (and memory beyond it).
+	res := s.scheme.Access(coreID, addr, false, now)
+	s.chargeAccess(res, false, now)
+	if s.profMon != nil && coreID == 0 {
+		l2line := addr >> uint(log2(s.lineBytes))
+		s.profMon.Access(int(l2line)%s.profMon.Config().Sets, l2line)
+		s.profAccs++
+	}
+
+	latency := int64(l1.Latency()) + res.Latency
+	if !res.Hit {
+		// The MSHR file bounds outstanding misses: a full file delays
+		// the new miss until the earliest completion.
+		start, _ := s.mshr[coreID].Allocate(line, now, now+latency)
+		latency += start - now
+	}
+	return cpu.AccessReply{Latency: latency, L1Hit: false}
+}
+
+// Fetch implements cpu.MemPort: the private L1I in front of the shared
+// L2. Instruction lines are never dirty, so misses are pure fills.
+func (s *System) Fetch(coreID int, pc uint64, now int64) cpu.AccessReply {
+	l1i := s.l1i[coreID]
+	line := l1i.Line(pc)
+	if _, hit := l1i.Access(line, coreID, false); hit {
+		return cpu.AccessReply{Latency: int64(l1i.Latency()), L1Hit: true}
+	}
+	res := s.scheme.Access(coreID, pc, false, now)
+	s.chargeAccess(res, false, now)
+	return cpu.AccessReply{Latency: int64(l1i.Latency()) + res.Latency, L1Hit: false}
+}
+
+// chargeAccess books one L2 access on the energy meter.
+func (s *System) chargeAccess(res partition.Result, isWrite bool, now int64) {
+	s.meter.OnAccess(energy.AccessEvent{
+		TagsConsulted: res.TagsConsulted,
+		DataRead:      res.Hit && !isWrite,
+		DataWrite:     !res.Hit || isWrite,
+		PermCheck:     res.PermCheck,
+		UMONSampled:   res.UMONSampled,
+		TakeoverOps:   res.TakeoverOps,
+	})
+	for i := 0; i < res.Writebacks; i++ {
+		s.meter.OnWriteback()
+	}
+	if pw := s.scheme.PoweredWayEquiv(); pw != s.meter.PoweredEquiv() {
+		s.meter.SetPoweredEquiv(now, pw)
+	}
+}
+
+// minCore returns the index of the core with the smallest local clock.
+func (s *System) minCore() int {
+	min := 0
+	for i := 1; i < len(s.cores); i++ {
+		if s.cores[i].Now() < s.cores[min].Now() {
+			min = i
+		}
+	}
+	return min
+}
+
+// decide runs one phase boundary.
+func (s *System) decide(now int64) {
+	reps := s.scheme.Stats().Repartitions
+	flushed := s.scheme.Stats().FlushedOnDecide
+	s.scheme.Decide(now)
+	if s.scheme.Stats().Repartitions != reps {
+		s.meter.OnRepartition()
+	}
+	// Synchronous reconfiguration flushes (Dynamic CPE) read every
+	// relocated block out of the data array.
+	for i := flushed; i < s.scheme.Stats().FlushedOnDecide; i++ {
+		s.meter.OnWriteback()
+	}
+	if s.profMon != nil {
+		s.profPhases = append(s.profPhases, partition.ProfilePhase{
+			Curve:    s.profMon.MissCurve(),
+			Accesses: s.profMon.Accesses(),
+		})
+		s.profMon.Reset()
+	}
+	s.meter.Advance(now)
+}
+
+// runUntil steps cores in clock order until every core has retired
+// target instructions (since the last stats reset), firing phase
+// decisions on the way.
+func (s *System) runUntil(target uint64) {
+	remaining := 0
+	for _, c := range s.cores {
+		if c.Retired() < target {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		ci := s.minCore()
+		c := s.cores[ci]
+		now := c.Now()
+		for now >= s.nextDecision {
+			s.decide(s.nextDecision)
+			s.nextDecision += s.cfg.Scale.PhaseCycles
+		}
+		before := c.Retired()
+		c.Step()
+		if before < target && c.Retired() >= target {
+			remaining--
+		}
+	}
+}
+
+// Run executes warm-up plus the measured region and gathers results.
+func (s *System) Run() *Results {
+	if s.cfg.Scale.WarmupInstr > 0 {
+		s.runUntil(s.cfg.Scale.WarmupInstr)
+		s.resetStats()
+	}
+
+	n := len(s.cores)
+	res := &Results{
+		Scheme:     string(s.cfg.Scheme),
+		Group:      s.cfg.Group.Name,
+		Benchmarks: append([]string(nil), s.cfg.Group.Benchmarks...),
+		IPC:        make([]float64, n),
+		MPKI:       make([]float64, n),
+	}
+
+	target := s.cfg.Scale.InstrPerApp
+	recorded := make([]bool, n)
+	done := 0
+	for done < n {
+		ci := s.minCore()
+		c := s.cores[ci]
+		now := c.Now()
+		for now >= s.nextDecision {
+			s.decide(s.nextDecision)
+			s.nextDecision += s.cfg.Scale.PhaseCycles
+		}
+		c.Step()
+		if !recorded[ci] && c.Retired() >= target {
+			recorded[ci] = true
+			done++
+			res.IPC[ci] = c.IPC()
+			misses := s.scheme.Stats().PerCore[ci].Misses
+			res.MPKI[ci] = float64(misses) / (float64(c.Retired()) / 1000)
+		}
+	}
+
+	var maxNow int64
+	for _, c := range s.cores {
+		if c.Now() > maxNow {
+			maxNow = c.Now()
+		}
+	}
+	s.meter.Advance(maxNow)
+
+	res.Cycles = maxNow - s.measureFrom
+	res.Dynamic = s.meter.Dynamic()
+	res.Static = s.meter.Static()
+	if res.Cycles > 0 {
+		res.StaticPower = res.Static / float64(res.Cycles)
+	}
+	res.AvgWaysConsulted = s.scheme.Stats().AvgWaysConsulted()
+	res.Allocations = s.scheme.Allocations()
+	res.SchemeStats = cloneStats(s.scheme.Stats())
+	res.Transition = cloneTransitions(s.scheme.Transitions())
+	res.DRAM = s.dram.Stats()
+	if s.cfg.CaptureProfile {
+		res.Profile = partition.CoreProfile{Phases: s.profPhases}
+	}
+	for _, c := range s.cores {
+		res.L1MissRate = append(res.L1MissRate, 1-hitRateOf(c, s))
+	}
+	return res
+}
+
+// hitRateOf returns the L1 hit rate of a core.
+func hitRateOf(c *cpu.Core, s *System) float64 {
+	return s.l1[c.ID()].Stats().HitRate()
+}
+
+// resetStats clears all counters at the warm-up boundary while keeping
+// microarchitectural state warm.
+func (s *System) resetStats() {
+	var now int64
+	for _, c := range s.cores {
+		c.ResetStats()
+		if c.Now() > now {
+			now = c.Now()
+		}
+	}
+	for _, l1 := range s.l1 {
+		l1.Stats().Reset()
+	}
+	for _, l1i := range s.l1i {
+		l1i.Stats().Reset()
+	}
+	s.scheme.Stats().Reset()
+	s.scheme.Transitions().Reset()
+	s.meter.ResetAt(now)
+	s.measureFrom = now
+	s.dram.ResetStats()
+	s.profPhases = nil
+	if s.profMon != nil {
+		s.profMon.Reset()
+	}
+}
+
+// Run is the package-level convenience: build a system and run it.
+func Run(cfg RunConfig) (*Results, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// log2 returns floor(log2(v)) for positive v.
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

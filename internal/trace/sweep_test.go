@@ -1,0 +1,140 @@
+package trace
+
+import "testing"
+
+// sweepConfig builds a single-region sweep generator.
+func sweepConfig(lines int) Config {
+	return Config{
+		MemFrac:     1,
+		WorkingSets: []WS{{Lines: lines, Weight: 1, Sweep: true}},
+		LineBytes:   64,
+		Seed:        9,
+	}
+}
+
+func TestSweepCyclesInOrder(t *testing.T) {
+	g := NewGenerator(sweepConfig(8))
+	var r Record
+	var lines []uint64
+	for len(lines) < 16 {
+		g.Next(&r)
+		if r.Kind == KindLoad || r.Kind == KindStore {
+			lines = append(lines, r.Addr/64)
+		}
+	}
+	// The second pass must repeat the first pass exactly (cyclic sweep).
+	for i := 0; i < 8; i++ {
+		if lines[i] != lines[i+8] {
+			t.Fatalf("sweep not cyclic: pass1[%d]=%d pass2[%d]=%d", i, lines[i], i, lines[i+8])
+		}
+	}
+	// All 8 lines are distinct within a pass.
+	seen := map[uint64]bool{}
+	for _, l := range lines[:8] {
+		if seen[l] {
+			t.Fatalf("line %d repeated within a pass", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestSweepFootprintExact(t *testing.T) {
+	g := NewGenerator(sweepConfig(37))
+	var r Record
+	distinct := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		g.Next(&r)
+		if r.Kind == KindLoad || r.Kind == KindStore {
+			distinct[r.Addr] = true
+		}
+	}
+	if len(distinct) != 37 {
+		t.Fatalf("sweep footprint = %d lines, want exactly 37", len(distinct))
+	}
+}
+
+// TestSweepLRUAllOrNothing verifies the property the workload model
+// depends on: a cyclic sweep under LRU hits when its footprint fits the
+// capacity and misses entirely when it exceeds it by even one line.
+func TestSweepLRUAllOrNothing(t *testing.T) {
+	simulate := func(footprint, capacity int) float64 {
+		// Fully-associative LRU of `capacity` lines.
+		stack := make([]uint64, 0, capacity)
+		g := NewGenerator(sweepConfig(footprint))
+		var r Record
+		hits, accesses := 0, 0
+		for accesses < footprint*20 {
+			g.Next(&r)
+			if r.Kind != KindLoad && r.Kind != KindStore {
+				continue
+			}
+			accesses++
+			line := r.Addr / 64
+			found := -1
+			for i, l := range stack {
+				if l == line {
+					found = i
+					break
+				}
+			}
+			if found >= 0 {
+				hits++
+				stack = append(stack[:found], stack[found+1:]...)
+			} else if len(stack) == capacity {
+				stack = stack[1:]
+			}
+			stack = append(stack, line)
+		}
+		return float64(hits) / float64(accesses)
+	}
+	if hr := simulate(16, 16); hr < 0.9 {
+		t.Fatalf("fitting sweep hit rate = %v, want ~1", hr)
+	}
+	if hr := simulate(17, 16); hr > 0.05 {
+		t.Fatalf("overflowing sweep hit rate = %v, want ~0", hr)
+	}
+}
+
+func TestSweepPhaseOscillationShrinksFootprint(t *testing.T) {
+	cfg := sweepConfig(100)
+	cfg.PhasePeriod = 2000
+	cfg.PhaseDepth = 0.1
+	g := NewGenerator(cfg)
+	var r Record
+	first := map[uint64]bool{}
+	for g.memCount < 1000 {
+		g.Next(&r)
+		first[r.Addr] = true
+	}
+	second := map[uint64]bool{}
+	for g.memCount < 2000 {
+		g.Next(&r)
+		second[r.Addr] = true
+	}
+	if len(second) >= len(first)/2 {
+		t.Fatalf("small phase footprint %d not below large phase %d", len(second), len(first))
+	}
+}
+
+func TestMixedSweepAndRandomRegions(t *testing.T) {
+	cfg := Config{
+		MemFrac: 1,
+		WorkingSets: []WS{
+			{Lines: 16, Weight: 3, Sweep: true},
+			{Lines: 64, Weight: 1},
+		},
+		LineBytes: 64,
+		Seed:      4,
+	}
+	g := NewGenerator(cfg)
+	var r Record
+	distinct := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		g.Next(&r)
+		distinct[r.Addr] = true
+	}
+	// 16 sweep lines + up to 64 random lines, in disjoint regions.
+	if len(distinct) > 80 || len(distinct) < 70 {
+		t.Fatalf("distinct lines = %d, want ~80", len(distinct))
+	}
+}

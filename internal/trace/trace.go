@@ -1,0 +1,346 @@
+// Package trace generates synthetic instruction and address streams
+// that stand in for the SPEC CPU2006 reference runs used by the paper
+// (see DESIGN.md §5: the module is offline and SPEC is proprietary, so
+// benchmarks are modelled as reuse-distance mixtures).
+//
+// A benchmark is described by a Config: the instruction mix (memory,
+// branch, ALU fractions), a branch-outcome process with tunable
+// predictability, and an address process that mixes
+//
+//   - a streaming component (sequential lines, no reuse — compulsory
+//     misses, insensitive to cache allocation),
+//   - a "huge" component (uniform over a footprint much larger than the
+//     LLC — linear, shallow utility curve), and
+//   - hot working sets (uniform over footprints of a few LLC ways —
+//     step/knee utility curves).
+//
+// The mixture directly controls the benchmark's miss curve versus
+// allocated LLC ways, which is the only property the paper's
+// partitioning algorithms observe. Footprints can oscillate in size
+// over time (PhasePeriod/PhaseDepth) to model applications whose cache
+// requirements change between program phases — the behaviour the paper
+// attributes to astar, bzip2, gcc and povray.
+package trace
+
+import "fmt"
+
+// Kind is an instruction class.
+type Kind uint8
+
+// Instruction kinds produced by a Generator.
+const (
+	KindALU Kind = iota
+	KindLoad
+	KindStore
+	KindBranch
+)
+
+// String returns a short human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one synthetic instruction.
+type Record struct {
+	Kind  Kind
+	Addr  uint64 // byte address (loads/stores)
+	PC    uint64 // program counter (every instruction; drives I-fetch)
+	Taken bool   // branch outcome (branches)
+}
+
+// WS is one hot working set of Lines cache lines, chosen with
+// probability proportional to Weight among the working-set share of
+// memory accesses. With Sweep false, lines are accessed uniformly at
+// random (smoothly decaying utility curve); with Sweep true the set is
+// accessed as a cyclic sweep, which under LRU hits only when the whole
+// footprint fits in the allocation — a sharp utility knee at the
+// footprint size, like the flat-beyond-the-knee curves of real
+// applications.
+type WS struct {
+	Lines  int
+	Weight float64
+	Sweep  bool
+}
+
+// Config describes one synthetic benchmark. All fractions are in
+// [0, 1]; StreamFrac + HugeFrac <= 1 with the remainder going to the
+// working sets.
+type Config struct {
+	MemFrac    float64 // fraction of instructions that access memory
+	StoreFrac  float64 // fraction of memory accesses that are stores
+	BranchFrac float64 // fraction of instructions that are branches
+
+	BranchNoise float64 // probability a branch outcome is random
+
+	StreamFrac  float64 // of memory accesses: sequential streaming
+	HugeFrac    float64 // of memory accesses: uniform over HugeLines
+	HugeLines   int
+	WorkingSets []WS
+
+	PhasePeriod int     // memory accesses per footprint oscillation (0 = stable)
+	PhaseDepth  float64 // in the small phase, active fraction of each WS
+
+	MLP float64 // intrinsic memory-level parallelism (miss overlap), >= 1
+
+	// CodeLines is the instruction footprint in cache lines: the PC
+	// advances sequentially and taken branches jump uniformly within
+	// this region, so large-code benchmarks (gcc, perlbench) produce
+	// L1I misses and LLC instruction traffic. Minimum 1.
+	CodeLines int
+
+	LineBytes int    // cache line size for address alignment
+	AddrBase  uint64 // high-bit offset separating address spaces
+	Seed      uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	frac := func(name string, v float64) error {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("trace: %s = %v outside [0,1]", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MemFrac", c.MemFrac}, {"StoreFrac", c.StoreFrac},
+		{"BranchFrac", c.BranchFrac}, {"BranchNoise", c.BranchNoise},
+		{"StreamFrac", c.StreamFrac}, {"HugeFrac", c.HugeFrac},
+		{"PhaseDepth", c.PhaseDepth},
+	} {
+		if err := frac(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.MemFrac+c.BranchFrac > 1 {
+		return fmt.Errorf("trace: MemFrac+BranchFrac = %v > 1", c.MemFrac+c.BranchFrac)
+	}
+	if c.StreamFrac+c.HugeFrac > 1 {
+		return fmt.Errorf("trace: StreamFrac+HugeFrac = %v > 1", c.StreamFrac+c.HugeFrac)
+	}
+	if c.HugeFrac > 0 && c.HugeLines <= 0 {
+		return fmt.Errorf("trace: HugeFrac set but HugeLines = %d", c.HugeLines)
+	}
+	wsShare := 1 - c.StreamFrac - c.HugeFrac
+	if wsShare > 1e-9 && len(c.WorkingSets) == 0 {
+		return fmt.Errorf("trace: %.2f of accesses go to working sets but none defined", wsShare)
+	}
+	for i, ws := range c.WorkingSets {
+		if ws.Lines <= 0 || ws.Weight < 0 {
+			return fmt.Errorf("trace: working set %d invalid: %+v", i, ws)
+		}
+	}
+	if c.MLP < 1 && c.MLP != 0 {
+		return fmt.Errorf("trace: MLP = %v must be >= 1", c.MLP)
+	}
+	if c.LineBytes <= 0 {
+		return fmt.Errorf("trace: LineBytes = %d", c.LineBytes)
+	}
+	return nil
+}
+
+// rng is a SplitMix64 generator: tiny, fast and deterministic.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Generator produces the instruction stream for one benchmark.
+type Generator struct {
+	cfg      Config
+	rng      rng
+	wsCum    []float64 // cumulative weights over working sets
+	wsBase   []uint64  // line-address base of each working set
+	wsPos    []uint64  // sweep position of each working set
+	hugeBase uint64
+	strmBase uint64
+	strmPos  uint64
+	memCount uint64 // memory accesses generated (drives phases)
+	pattern  uint64 // branch-outcome pattern state
+	codeBase uint64 // byte base of the code region
+	curPC    uint64 // current program counter (bytes)
+	emitted  uint64
+}
+
+// NewGenerator builds a generator. It panics on an invalid config:
+// benchmark definitions are compiled into the workload package, so
+// failure is a programming error.
+func NewGenerator(cfg Config) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.MLP == 0 {
+		cfg.MLP = 1
+	}
+	g := &Generator{cfg: cfg, rng: rng{state: cfg.Seed ^ 0xabcdef12345678}}
+	// Lay out the address space regions, line-granular, spaced far
+	// apart so regions never overlap: stream, huge, then working sets.
+	next := cfg.AddrBase >> uint(log2(cfg.LineBytes))
+	g.strmBase = next
+	next += 1 << 30
+	g.hugeBase = next
+	next += uint64(cfg.HugeLines) + 1<<24
+	var total float64
+	for _, ws := range cfg.WorkingSets {
+		total += ws.Weight
+	}
+	cum := 0.0
+	for _, ws := range cfg.WorkingSets {
+		g.wsBase = append(g.wsBase, next)
+		g.wsPos = append(g.wsPos, 0)
+		next += uint64(ws.Lines) + 1<<24
+		if total > 0 {
+			cum += ws.Weight / total
+		}
+		g.wsCum = append(g.wsCum, cum)
+	}
+	if g.cfg.CodeLines < 1 {
+		g.cfg.CodeLines = 1
+	}
+	g.codeBase = next * uint64(cfg.LineBytes)
+	g.curPC = g.codeBase
+	g.pattern = cfg.Seed | 1
+	return g
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Emitted returns how many records have been produced.
+func (g *Generator) Emitted() uint64 { return g.emitted }
+
+// MLP returns the benchmark's intrinsic memory-level parallelism.
+func (g *Generator) MLP() float64 { return g.cfg.MLP }
+
+// phaseScale returns the active-fraction multiplier of the working sets
+// at the current point in the benchmark's phase oscillation.
+func (g *Generator) phaseScale() float64 {
+	if g.cfg.PhasePeriod <= 0 {
+		return 1
+	}
+	pos := g.memCount % uint64(g.cfg.PhasePeriod)
+	if pos < uint64(g.cfg.PhasePeriod)/2 {
+		return 1
+	}
+	return g.cfg.PhaseDepth
+}
+
+// Next fills r with the next instruction. The PC advances sequentially
+// (4-byte instructions) and taken branches jump within the code region.
+func (g *Generator) Next(r *Record) {
+	g.emitted++
+	r.PC = g.curPC
+	x := g.rng.float()
+	switch {
+	case x < g.cfg.MemFrac:
+		g.nextMem(r)
+	case x < g.cfg.MemFrac+g.cfg.BranchFrac:
+		g.nextBranch(r)
+	default:
+		r.Kind = KindALU
+	}
+	if r.Kind == KindBranch && r.Taken {
+		// Jump to the start of a uniformly-chosen line of the region.
+		line := uint64(g.rng.intn(g.cfg.CodeLines))
+		g.curPC = g.codeBase + line*uint64(g.cfg.LineBytes)
+	} else {
+		g.curPC += 4
+		if g.curPC >= g.codeBase+uint64(g.cfg.CodeLines*g.cfg.LineBytes) {
+			g.curPC = g.codeBase
+		}
+	}
+}
+
+// nextMem produces a load or store with an address from the mixture.
+func (g *Generator) nextMem(r *Record) {
+	g.memCount++
+	if g.rng.float() < g.cfg.StoreFrac {
+		r.Kind = KindStore
+	} else {
+		r.Kind = KindLoad
+	}
+	y := g.rng.float()
+	var line uint64
+	switch {
+	case y < g.cfg.StreamFrac:
+		g.strmPos++
+		line = g.strmBase + g.strmPos
+	case y < g.cfg.StreamFrac+g.cfg.HugeFrac:
+		line = g.hugeBase + uint64(g.rng.intn(g.cfg.HugeLines))
+	default:
+		// Working sets: pick one by weight, index uniformly within the
+		// currently-active fraction of its footprint.
+		z := g.rng.float()
+		idx := len(g.wsCum) - 1
+		for i, c := range g.wsCum {
+			if z < c {
+				idx = i
+				break
+			}
+		}
+		active := int(float64(g.cfg.WorkingSets[idx].Lines) * g.phaseScale())
+		if active < 1 {
+			active = 1
+		}
+		if g.cfg.WorkingSets[idx].Sweep {
+			g.wsPos[idx]++
+			line = g.wsBase[idx] + g.wsPos[idx]%uint64(active)
+		} else {
+			line = g.wsBase[idx] + uint64(g.rng.intn(active))
+		}
+	}
+	r.Addr = line * uint64(g.cfg.LineBytes)
+}
+
+// nextBranch produces a branch with a partially-predictable outcome:
+// the outcome is drawn from a 64-bit pattern register (learnable by
+// gshare), flipped randomly with probability BranchNoise.
+func (g *Generator) nextBranch(r *Record) {
+	r.Kind = KindBranch
+	bit := g.pattern & 1
+	g.pattern = g.pattern>>1 | (g.pattern&1^g.pattern>>3&1)<<63 // LFSR-ish
+	taken := bit == 1
+	if g.rng.float() < g.cfg.BranchNoise {
+		taken = g.rng.next()&1 == 0
+	}
+	r.Taken = taken
+}
+
+// log2 returns floor(log2(v)) for positive v.
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,168 @@
+// Package umon implements the utility monitors (UMON) of Qureshi &
+// Patt's utility-based cache partitioning, which the paper reuses for
+// its usage-monitoring phase (Section 2.1).
+//
+// Each core gets an auxiliary tag directory (ATD) with the same
+// associativity as the shared LLC but private to that core, maintained
+// in true LRU order. A hit at LRU stack position d means the access
+// would have hit had the core owned at least d ways, so per-position
+// hit counters directly yield the core's utility curve (hits as a
+// function of allocated ways) via the stack property of LRU (Mattson et
+// al.). Dynamic set sampling reduces the hardware cost; the sampling
+// ratio is configurable and the counters are scaled accordingly.
+package umon
+
+import "fmt"
+
+// Config describes one utility monitor.
+type Config struct {
+	Sets     int // sets in the monitored cache
+	Ways     int // associativity of the monitored cache
+	Sampling int // monitor every Sampling-th set (1 = all sets)
+}
+
+// Monitor is the per-core ATD with stack-distance hit counters.
+type Monitor struct {
+	cfg      Config
+	tags     []uint64 // sampledSets * ways, ordered most→least recent
+	valid    []bool
+	sampled  int
+	hits     []uint64 // hits[d] = hits at stack position d (0-based)
+	misses   uint64
+	accesses uint64
+}
+
+// New creates a monitor for a cache with the given geometry. It panics
+// on invalid configuration (monitor geometry is fixed by the cache it
+// shadows, so failure is a programming error).
+func New(cfg Config) *Monitor {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("umon: invalid geometry %d sets / %d ways", cfg.Sets, cfg.Ways))
+	}
+	if cfg.Sampling <= 0 {
+		cfg.Sampling = 1
+	}
+	sampled := cfg.Sets / cfg.Sampling
+	if sampled == 0 {
+		sampled = 1
+	}
+	return &Monitor{
+		cfg:     cfg,
+		tags:    make([]uint64, sampled*cfg.Ways),
+		valid:   make([]bool, sampled*cfg.Ways),
+		sampled: sampled,
+		hits:    make([]uint64, cfg.Ways),
+	}
+}
+
+// Config returns the monitor configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// SampledSets returns how many sets the ATD actually tracks.
+func (m *Monitor) SampledSets() int { return m.sampled }
+
+// Access records one LLC access by this monitor's core. set is the
+// index in the real cache; tag is the line's tag. Accesses to
+// non-sampled sets are ignored.
+func (m *Monitor) Access(set int, tag uint64) {
+	if set%m.cfg.Sampling != 0 {
+		return
+	}
+	row := (set / m.cfg.Sampling) % m.sampled
+	base := row * m.cfg.Ways
+	ways := m.cfg.Ways
+	m.accesses++
+
+	// Search the LRU stack for the tag.
+	pos := -1
+	for i := 0; i < ways; i++ {
+		if m.valid[base+i] && m.tags[base+i] == tag {
+			pos = i
+			break
+		}
+	}
+	if pos >= 0 {
+		m.hits[pos]++
+		// Move to MRU position.
+		for i := pos; i > 0; i-- {
+			m.tags[base+i] = m.tags[base+i-1]
+			m.valid[base+i] = m.valid[base+i-1]
+		}
+	} else {
+		m.misses++
+		// Shift everything down, dropping the LRU entry.
+		for i := ways - 1; i > 0; i-- {
+			m.tags[base+i] = m.tags[base+i-1]
+			m.valid[base+i] = m.valid[base+i-1]
+		}
+	}
+	m.tags[base] = tag
+	m.valid[base] = true
+}
+
+// Accesses returns the number of monitored accesses since the last
+// decay to zero (scaled by the sampling ratio to estimate the full
+// cache's traffic).
+func (m *Monitor) Accesses() uint64 { return m.accesses * uint64(m.cfg.Sampling) }
+
+// HitsUpTo returns the estimated number of hits the core would see with
+// w ways allocated: the sum of stack-position counters 0..w-1, scaled
+// by the sampling ratio.
+func (m *Monitor) HitsUpTo(w int) uint64 {
+	if w > m.cfg.Ways {
+		w = m.cfg.Ways
+	}
+	var sum uint64
+	for i := 0; i < w; i++ {
+		sum += m.hits[i]
+	}
+	return sum * uint64(m.cfg.Sampling)
+}
+
+// Misses returns the estimated number of misses the core would incur
+// with w ways allocated: accesses - hits(w). With w = 0 every access
+// misses.
+func (m *Monitor) Misses(w int) uint64 {
+	return m.Accesses() - m.HitsUpTo(w)
+}
+
+// MissCurve returns the full miss curve: element w is Misses(w), for
+// w in [0, ways].
+func (m *Monitor) MissCurve() []uint64 {
+	curve := make([]uint64, m.cfg.Ways+1)
+	for w := 0; w <= m.cfg.Ways; w++ {
+		curve[w] = m.Misses(w)
+	}
+	return curve
+}
+
+// Decay halves all counters. UCP applies this after each partitioning
+// decision so that utility information ages exponentially rather than
+// being dominated by stale phases.
+func (m *Monitor) Decay() {
+	for i := range m.hits {
+		m.hits[i] /= 2
+	}
+	m.misses /= 2
+	m.accesses /= 2
+}
+
+// Reset zeroes counters and invalidates the ATD.
+func (m *Monitor) Reset() {
+	for i := range m.valid {
+		m.valid[i] = false
+	}
+	for i := range m.hits {
+		m.hits[i] = 0
+	}
+	m.misses = 0
+	m.accesses = 0
+}
+
+// HardwareBits estimates the monitor's storage cost in bits: tag
+// entries (assume 40-bit tags plus valid) and 32-bit hit counters, as
+// in the UCP paper's overhead analysis.
+func (m *Monitor) HardwareBits() int {
+	const tagBits, counterBits = 40 + 1, 32
+	return m.sampled*m.cfg.Ways*tagBits + m.cfg.Ways*counterBits
+}

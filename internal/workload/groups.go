@@ -1,0 +1,76 @@
+package workload
+
+import "fmt"
+
+// Group is one multiprogrammed workload from Table 4.
+type Group struct {
+	Name       string
+	Benchmarks []string
+}
+
+// Groups2 are the fourteen two-application workloads of Table 4. Every
+// group contains at least one highly memory-intensive program
+// (MPKI > 5), as the paper's selection procedure requires.
+var Groups2 = []Group{
+	{"G2-1", []string{"soplex", "namd"}},
+	{"G2-2", []string{"soplex", "milc"}},
+	{"G2-3", []string{"gobmk", "h264ref"}},
+	{"G2-4", []string{"lbm", "povray"}},
+	{"G2-5", []string{"gobmk", "perlbench"}},
+	{"G2-6", []string{"lbm", "bzip2"}},
+	{"G2-7", []string{"lbm", "astar"}},
+	{"G2-8", []string{"lbm", "soplex"}},
+	{"G2-9", []string{"soplex", "dealII"}},
+	{"G2-10", []string{"sjeng", "calculix"}},
+	{"G2-11", []string{"sjeng", "xalan"}},
+	{"G2-12", []string{"soplex", "gcc"}},
+	{"G2-13", []string{"sjeng", "povray"}},
+	{"G2-14", []string{"gobmk", "omnetpp"}},
+}
+
+// Groups4 are the fourteen four-application workloads of Table 4, each
+// with at least one High and one Medium MPKI program.
+var Groups4 = []Group{
+	{"G4-1", []string{"gobmk", "gcc", "perlbench", "xalan"}},
+	{"G4-2", []string{"sjeng", "lbm", "calculix", "omnetpp"}},
+	{"G4-3", []string{"dealII", "sjeng", "soplex", "namd"}},
+	{"G4-4", []string{"soplex", "sjeng", "h264ref", "astar"}},
+	{"G4-5", []string{"lbm", "libquantum", "gromacs", "mcf"}},
+	{"G4-6", []string{"gobmk", "libquantum", "namd", "perlbench"}},
+	{"G4-7", []string{"lbm", "sjeng", "povray", "omnetpp"}},
+	{"G4-8", []string{"lbm", "soplex", "h264ref", "dealII"}},
+	{"G4-9", []string{"lbm", "xalan", "milc", "soplex"}},
+	{"G4-10", []string{"sjeng", "povray", "milc", "gobmk"}},
+	{"G4-11", []string{"gobmk", "libquantum", "h264ref", "gromacs"}},
+	{"G4-12", []string{"soplex", "astar", "omnetpp", "milc"}},
+	{"G4-13", []string{"soplex", "gcc", "libquantum", "xalan"}},
+	{"G4-14", []string{"soplex", "bzip2", "astar", "milc"}},
+}
+
+// FindGroup looks a group up by name in both tables.
+func FindGroup(name string) (Group, error) {
+	for _, g := range Groups2 {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	for _, g := range Groups4 {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return Group{}, fmt.Errorf("workload: unknown group %q", name)
+}
+
+// Validate checks a group's benchmarks all exist.
+func (g Group) Validate() error {
+	if len(g.Benchmarks) == 0 {
+		return fmt.Errorf("workload: group %q is empty", g.Name)
+	}
+	for _, n := range g.Benchmarks {
+		if _, err := Get(n); err != nil {
+			return fmt.Errorf("workload: group %q: %w", g.Name, err)
+		}
+	}
+	return nil
+}
