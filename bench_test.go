@@ -9,8 +9,8 @@ package repro
 //
 // reproduces Figure 5 from nothing. Benchmarks run at UnitScale so a
 // full -bench=. pass stays tractable; set REPRO_BENCH_SCALE=test for
-// the larger scale the committed EXPERIMENTS.md numbers come from (or
-// use cmd/figures, which shares simulations across figures).
+// the larger scale cmd/report publishes (or use cmd/figures, which
+// shares simulations across figures and fans them out with -workers).
 //
 // Microbenchmarks of the simulator's hot paths (LLC access under each
 // scheme, the look-ahead allocator, trace generation) follow the

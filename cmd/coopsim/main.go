@@ -6,7 +6,7 @@
 // Usage:
 //
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
-//	        [-scale test|full] [-seed 1] [-compare]
+//	        [-scale test|full] [-seed 1] [-compare] [-workers N]
 //
 // With -compare, all five schemes run on the group and a comparison
 // table is printed.
@@ -32,6 +32,7 @@ func main() {
 	scaleName := flag.String("scale", "test", "simulation scale: test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compare := flag.Bool("compare", false, "run every scheme and print a comparison")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	flag.Parse()
 
 	g, err := workload.FindGroup(*group)
@@ -48,7 +49,7 @@ func main() {
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
 	runner := experiments.NewRunner(experiments.Config{
-		Scale: scale, Seed: *seed, Threshold: *threshold,
+		Scale: scale, Seed: *seed, Threshold: *threshold, Workers: *workers,
 	})
 
 	if *compare {
@@ -89,6 +90,11 @@ func report(r *experiments.Runner, res *sim.Results) {
 
 func compareAll(r *experiments.Runner, g workload.Group) {
 	fmt.Printf("comparison on %s (%v), normalised to FairShare\n\n", g.Name, g.Benchmarks)
+	// All five scheme runs (and the solo runs weighted speedup needs)
+	// are independent: warm them concurrently, then collect.
+	if err := r.PrefetchSpeedup([]workload.Group{g}, sim.AllSchemes); err != nil {
+		fatal(err)
+	}
 	fair, err := r.RunGroup(g, sim.FairShare)
 	if err != nil {
 		fatal(err)

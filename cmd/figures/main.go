@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T]
+//	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
 //
 // Without -fig, every data figure (5-16) is printed. Figures 1-4 are
 // schematics with no data series; the takeover mechanics they
@@ -26,6 +26,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
 		"Cooperative Partitioning takeover threshold T")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	flag.Parse()
 
 	sc, err := scaleByName(*scale)
@@ -33,7 +34,7 @@ func main() {
 		fatal(err)
 	}
 	r := experiments.NewRunner(experiments.Config{
-		Scale: sc, Seed: *seed, Threshold: *threshold,
+		Scale: sc, Seed: *seed, Threshold: *threshold, Workers: *workers,
 	})
 
 	figs := []int{*fig}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	report [-out report] [-scale test|full] [-seed 1]
+//	report [-out report] [-scale test|full] [-seed 1] [-workers N]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 	out := flag.String("out", "report", "output directory")
 	scaleName := flag.String("scale", "test", "simulation scale: test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	flag.Parse()
 
 	var scale sim.Scale
@@ -38,7 +39,7 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	r := experiments.NewRunner(experiments.Config{Scale: scale, Seed: *seed})
+	r := experiments.NewRunner(experiments.Config{Scale: scale, Seed: *seed, Workers: *workers})
 
 	md, err := os.Create(filepath.Join(*out, "report.md"))
 	if err != nil {

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	tables [-table N] [-scale test|full] [-seed N]
+//	tables [-table N] [-scale test|full] [-seed N] [-workers N]
 //
 // Without -table, all four tables are printed.
 package main
@@ -20,13 +20,14 @@ func main() {
 	table := flag.Int("table", 0, "table number (1-4; 0 = all)")
 	scale := flag.String("scale", "test", "simulation scale: test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	flag.Parse()
 
 	sc, err := scaleByName(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed})
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Workers: *workers})
 
 	run := func(n int) error {
 		switch n {

@@ -1,0 +1,144 @@
+package cache
+
+import "testing"
+
+// Microbenchmarks of the LLC substrate's hot path: Probe and Victim run
+// once per simulated memory access (twice with a dirty L1 victim), so
+// their cost dominates simulator throughput together with the trace
+// generators. All three entry points must stay allocation-free.
+
+func benchCache() *Cache {
+	c := New(Config{Name: "l2", SizeBytes: 64 << 10, LineBytes: 64, Ways: 8, Latency: 15})
+	// Warm every set so Probe walks full sets and Victim takes the LRU
+	// path rather than the first-invalid early-out.
+	for line := uint64(0); line < uint64(c.NumSets()*c.Ways()); line++ {
+		c.Access(line, 0, false)
+	}
+	return c
+}
+
+func BenchmarkProbeFullMask(b *testing.B) {
+	c := benchCache()
+	mask := c.AllMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i)
+		c.Probe(c.Index(line), c.TagOf(line), mask)
+	}
+}
+
+func BenchmarkProbePartialMask(b *testing.B) {
+	c := benchCache()
+	mask := c.AllMask() >> 1 // 7 of 8 ways: the partitioned-scheme shape
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		line := uint64(i)
+		c.Probe(c.Index(line), c.TagOf(line), mask)
+	}
+}
+
+func BenchmarkVictimFullMask(b *testing.B) {
+	c := benchCache()
+	mask := c.AllMask()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Victim(i&(c.NumSets()-1), mask)
+	}
+}
+
+func BenchmarkVictimPartialMask(b *testing.B) {
+	c := benchCache()
+	mask := c.AllMask() >> 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Victim(i&(c.NumSets()-1), mask)
+	}
+}
+
+func BenchmarkL1Access(b *testing.B) {
+	c := benchCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i)&0xfff, 0, i&7 == 0)
+	}
+}
+
+// TestHotPathAllocationFree pins the zero-allocation property the
+// energy/timing loops rely on (a single allocation per access would
+// dominate the simulator's profile).
+func TestHotPathAllocationFree(t *testing.T) {
+	c := benchCache()
+	mask := c.AllMask()
+	line := uint64(123)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Probe(c.Index(line), c.TagOf(line), mask)
+		c.Victim(c.Index(line), mask)
+		line++
+	}); n != 0 {
+		t.Fatalf("Probe+Victim allocate %v per access, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Access(line&0xfff, 0, false)
+		line++
+	}); n != 0 {
+		t.Fatalf("Access allocates %v per access, want 0", n)
+	}
+}
+
+// TestProbeVictimFastPathMatchesMasked checks that the full-mask fast
+// path and the bit-iteration path agree way-for-way: an equivalent
+// partial mask covering all ways must select exactly the same hit way
+// and victim as the precomputed full mask.
+func TestProbeVictimFastPathMatchesMasked(t *testing.T) {
+	c := New(Config{Name: "t", SizeBytes: 8 << 10, LineBytes: 64, Ways: 8, Latency: 1})
+	for line := uint64(0); line < 300; line += 3 {
+		c.Access(line, int(line)%2, line%5 == 0)
+	}
+	full := c.AllMask()
+	for set := 0; set < c.NumSets(); set++ {
+		for tag := uint64(0); tag < 40; tag++ {
+			wFast, okFast := c.Probe(set, tag, full)
+			// Force the masked walk by passing the same bits via a copy
+			// the fast-path comparison cannot intern differently: probe
+			// way subsets and reassemble.
+			lo, okLo := c.Probe(set, tag, full&0x0f)
+			hi, okHi := c.Probe(set, tag, full&^uint64(0x0f))
+			wSlow, okSlow := lo, okLo
+			if !okLo && okHi {
+				wSlow, okSlow = hi, okHi
+			}
+			if okFast != okSlow || (okFast && wFast != wSlow) {
+				t.Fatalf("set %d tag %d: fast (%d,%v) != masked (%d,%v)",
+					set, tag, wFast, okFast, wSlow, okSlow)
+			}
+		}
+		vFast := c.Victim(set, full)
+		vLo, vHi := c.Victim(set, full&0x0f), c.Victim(set, full&^uint64(0x0f))
+		// Reassemble the masked answer: first-invalid wins, else min LRU.
+		want := vFast
+		switch {
+		case vLo >= 0 && !c.Block(set, vLo).Valid:
+			want = vLo
+		case vHi >= 0 && !c.Block(set, vHi).Valid:
+			want = vHi
+		case vLo < 0:
+			want = vHi
+		case vHi < 0:
+			want = vLo
+		default:
+			if c.Block(set, vLo).LRU <= c.Block(set, vHi).LRU {
+				want = vLo
+			} else {
+				want = vHi
+			}
+		}
+		if vFast != want {
+			t.Fatalf("set %d: fast victim %d != masked victim %d", set, vFast, want)
+		}
+	}
+}

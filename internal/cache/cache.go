@@ -80,6 +80,7 @@ type Cache struct {
 	ways    int
 	idxMask uint64
 	offBits uint
+	allMask uint64 // mask with every way enabled, precomputed
 	clock   uint64 // global recency counter
 	stats   Stats
 }
@@ -99,6 +100,11 @@ func New(cfg Config) *Cache {
 		ways:    cfg.Ways,
 		idxMask: uint64(numSets - 1),
 		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+	}
+	if cfg.Ways == 64 {
+		c.allMask = ^uint64(0)
+	} else {
+		c.allMask = (uint64(1) << uint(cfg.Ways)) - 1
 	}
 	for i := range c.sets {
 		c.sets[i].Owner = NoOwner
@@ -144,12 +150,7 @@ func (c *Cache) blockAt(set, way int) *Block {
 func (c *Cache) Block(set, way int) Block { return *c.blockAt(set, way) }
 
 // AllMask returns the way mask with every way enabled.
-func (c *Cache) AllMask() uint64 {
-	if c.ways == 64 {
-		return ^uint64(0)
-	}
-	return (uint64(1) << uint(c.ways)) - 1
-}
+func (c *Cache) AllMask() uint64 { return c.allMask }
 
 // Probe searches the ways selected by mask for the tag of line. It
 // returns the hit way and true, or -1 and false. Probe does not update
@@ -158,6 +159,20 @@ func (c *Cache) AllMask() uint64 {
 // what the dynamic-energy model charges.
 func (c *Cache) Probe(set int, tag uint64, mask uint64) (int, bool) {
 	base := set * c.ways
+	if mask == c.allMask {
+		// Full-mask fast path — every L1 access and every unpartitioned
+		// LLC access takes it: scan the set's ways linearly instead of
+		// iterating mask bits. Way order matches the masked walk
+		// (ascending), so results are identical.
+		ways := c.sets[base : base+c.ways]
+		for w := range ways {
+			b := &ways[w]
+			if b.Valid && b.Tag == tag {
+				return w, true
+			}
+		}
+		return -1, false
+	}
 	for m := mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
 		b := &c.sets[base+w]
@@ -180,6 +195,21 @@ func (c *Cache) Touch(set, way int) {
 func (c *Cache) Victim(set int, mask uint64) int {
 	best, bestLRU := -1, ^uint64(0)
 	base := set * c.ways
+	if mask == c.allMask {
+		// Full-mask fast path; see Probe. First invalid way wins, as in
+		// the masked walk.
+		ways := c.sets[base : base+c.ways]
+		for w := range ways {
+			b := &ways[w]
+			if !b.Valid {
+				return w
+			}
+			if b.LRU < bestLRU {
+				best, bestLRU = w, b.LRU
+			}
+		}
+		return best
+	}
 	for m := mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
 		b := &c.sets[base+w]

@@ -8,22 +8,10 @@ import (
 
 // This file implements the ablation studies of DESIGN.md §7 — the
 // design choices the paper calls out, each isolated against the full
-// Cooperative Partitioning scheme on the two-core workloads.
-
-// runAblation executes CoopPart with a RunConfig mutator applied.
-func (r *Runner) runAblation(g workload.Group, mutate func(*sim.RunConfig)) (*sim.Results, error) {
-	cfg := sim.RunConfig{
-		Scale:     r.cfg.Scale,
-		Scheme:    sim.CoopPart,
-		Group:     g,
-		Threshold: r.cfg.Threshold,
-		Seed:      r.cfg.Seed,
-	}
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	return sim.Run(cfg)
-}
+// Cooperative Partitioning scheme on the two-core workloads. Ablated
+// arms run through RunGroupVariant, so they are memoised (the report
+// binary regenerates several ablations from one runner) and fan out
+// across the worker pool like every other run.
 
 // AblationVictim quantifies the cost of way-aligned victim selection
 // (Section 2.5): Cooperative Partitioning must place fills within the
@@ -31,6 +19,12 @@ func (r *Runner) runAblation(g workload.Group, mutate func(*sim.RunConfig)) (*si
 // with all ways allocated (threshold 0) so only the placement freedom
 // differs. The paper reports a negligible difference.
 func (r *Runner) AblationVictim() (metrics.Figure, error) {
+	err := r.runPairs(workload.Groups2, true,
+		Request{Scheme: sim.UCP, Threshold: r.cfg.Threshold},
+		Request{Scheme: sim.CoopPart, Threshold: 0})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "AblationVictim",
 		Title:  "Way-aligned victim choice (CoopPart, T=0) vs free per-set choice (UCP)",
@@ -72,16 +66,22 @@ func (r *Runner) AblationVictim() (metrics.Figure, error) {
 // the ablated variant only on recipient misses (UCP-style convergence).
 // The series report average cycles per way transfer.
 func (r *Runner) AblationTakeover() (metrics.Figure, error) {
+	// Both arms run at threshold 0 so every repartition is a pure
+	// core-to-core transfer (turn-off periods have no recipient and
+	// would bias the ablated arm: its slow transitions simply never
+	// finish and drop out of the average).
+	err := r.runPairs(workload.Groups2, false,
+		Request{Scheme: sim.CoopPart, Threshold: 0},
+		Request{Scheme: sim.CoopPart, Threshold: 0, Variant: VariantRecipientMissOnly})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "AblationTakeover",
 		Title:  "Takeover on all accesses vs recipient misses only",
 		YLabel: "cycles per way transfer",
 		XLabel: "group",
 	}
-	// Both arms run at threshold 0 so every repartition is a pure
-	// core-to-core transfer (turn-off periods have no recipient and
-	// would bias the ablated arm: its slow transitions simply never
-	// finish and drop out of the average).
 	var full, missOnly []float64
 	for _, g := range workload.Groups2 {
 		fig.X = append(fig.X, g.Name)
@@ -89,10 +89,7 @@ func (r *Runner) AblationTakeover() (metrics.Figure, error) {
 		if err != nil {
 			return metrics.Figure{}, err
 		}
-		ablated, err := r.runAblation(g, func(c *sim.RunConfig) {
-			c.RecipientMissOnly = true
-			c.Threshold = -1 // explicit zero
-		})
+		ablated, err := r.RunGroupVariant(g, sim.CoopPart, 0, VariantRecipientMissOnly)
 		if err != nil {
 			return metrics.Figure{}, err
 		}
@@ -111,6 +108,12 @@ func (r *Runner) AblationTakeover() (metrics.Figure, error) {
 // unallocated ways off: the ablated variant partitions identically but
 // never gates.
 func (r *Runner) AblationGating() (metrics.Figure, error) {
+	err := r.runPairs(workload.Groups2, false,
+		Request{Scheme: sim.CoopPart, Threshold: r.cfg.Threshold},
+		Request{Scheme: sim.CoopPart, Threshold: r.cfg.Threshold, Variant: VariantNoGating})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "AblationGating",
 		Title:  "Static power with and without gated-Vdd way power-off",
@@ -124,7 +127,7 @@ func (r *Runner) AblationGating() (metrics.Figure, error) {
 		if err != nil {
 			return metrics.Figure{}, err
 		}
-		ungated, err := r.runAblation(g, func(c *sim.RunConfig) { c.DisableGating = true })
+		ungated, err := r.RunGroupVariant(g, sim.CoopPart, r.cfg.Threshold, VariantNoGating)
 		if err != nil {
 			return metrics.Figure{}, err
 		}
@@ -140,6 +143,12 @@ func (r *Runner) AblationGating() (metrics.Figure, error) {
 // Section 2.5's observation that way alignment makes the scheme
 // "closer in performance to a random choice of replacement block".
 func (r *Runner) AblationRandomVictim() (metrics.Figure, error) {
+	err := r.runPairs(workload.Groups2, true,
+		Request{Scheme: sim.CoopPart, Threshold: r.cfg.Threshold},
+		Request{Scheme: sim.CoopPart, Threshold: r.cfg.Threshold, Variant: VariantRandomVictim})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "AblationRandomVictim",
 		Title:  "CoopPart fill victim: LRU vs random within the owner's ways",
@@ -153,7 +162,7 @@ func (r *Runner) AblationRandomVictim() (metrics.Figure, error) {
 		if err != nil {
 			return metrics.Figure{}, err
 		}
-		rnd, err := r.runAblation(g, func(c *sim.RunConfig) { c.RandomVictim = true })
+		rnd, err := r.RunGroupVariant(g, sim.CoopPart, r.cfg.Threshold, VariantRandomVictim)
 		if err != nil {
 			return metrics.Figure{}, err
 		}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -26,13 +25,18 @@ import (
 // ExtDrowsy compares Cooperative Partitioning's static power with and
 // without the drowsy extension, normalised to the plain scheme.
 func (r *Runner) ExtDrowsy() (metrics.Figure, error) {
+	err := r.runPairs(workload.Groups2, true,
+		Request{Scheme: sim.CoopPart, Threshold: r.cfg.Threshold},
+		Request{Scheme: sim.CoopPart, Threshold: r.cfg.Threshold, Variant: VariantDrowsy})
+	if err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "ExtDrowsy",
 		Title:  "Cooperative Partitioning + drowsy ways: static power vs plain CP",
 		YLabel: "static power normalised to plain CoopPart",
 		XLabel: "group",
 	}
-	drowsy := core.DefaultDrowsyConfig()
 	var ratios, wsRatios []float64
 	for _, g := range workload.Groups2 {
 		fig.X = append(fig.X, g.Name)
@@ -40,14 +44,7 @@ func (r *Runner) ExtDrowsy() (metrics.Figure, error) {
 		if err != nil {
 			return metrics.Figure{}, err
 		}
-		ext, err := sim.Run(sim.RunConfig{
-			Scale:     r.cfg.Scale,
-			Scheme:    sim.CoopPart,
-			Group:     g,
-			Threshold: r.cfg.Threshold,
-			Seed:      r.cfg.Seed,
-			Drowsy:    &drowsy,
-		})
+		ext, err := r.RunGroupVariant(g, sim.CoopPart, r.cfg.Threshold, VariantDrowsy)
 		if err != nil {
 			return metrics.Figure{}, err
 		}
@@ -90,6 +87,9 @@ const LLCShareOfChip = 0.20
 // Headroom estimates, per two-core workload, how much clock-frequency
 // headroom Cooperative Partitioning's energy savings create.
 func (r *Runner) Headroom() ([]HeadroomRow, error) {
+	if err := r.Prefetch(workload.Groups2, []sim.SchemeKind{sim.FairShare, sim.CoopPart}); err != nil {
+		return nil, err
+	}
 	var rows []HeadroomRow
 	for _, g := range workload.Groups2 {
 		fair, err := r.RunGroup(g, sim.FairShare)

@@ -11,11 +11,17 @@ import (
 // schemeSeries runs every group under every scheme and returns one
 // series per scheme of value(results) normalised to the FairShare run
 // of the same group, with the paper's AVG (geometric mean) appended.
-func (r *Runner) schemeSeries(cores int, id, title, ylabel string,
+func (r *Runner) schemeSeries(cores int, id, title, ylabel string, speedup bool,
 	value func(*Runner, *sim.Results) (float64, error)) (metrics.Figure, error) {
 
 	groups, err := groupsFor(cores)
 	if err != nil {
+		return metrics.Figure{}, err
+	}
+	// Fan every (group, scheme) run — and, for the weighted-speedup
+	// figures, the solo runs Equation 1 needs — out over the worker
+	// pool; the serial collection below then hits the warm memo.
+	if err := r.runAll(r.crossRequests(groups, sim.AllSchemes), speedup); err != nil {
 		return metrics.Figure{}, err
 	}
 	fig := metrics.Figure{ID: id, Title: title, YLabel: ylabel, XLabel: "group"}
@@ -70,51 +76,60 @@ func statValue(_ *Runner, res *sim.Results) (float64, error) { return res.Static
 func (r *Runner) Fig5() (metrics.Figure, error) {
 	return r.schemeSeries(2, "Fig5",
 		"Weighted speedup of two-application workloads",
-		"weighted speedup normalised to Fair Share", wsValue)
+		"weighted speedup normalised to Fair Share", true, wsValue)
 }
 
 // Fig6 is the dynamic energy of the two-application workloads.
 func (r *Runner) Fig6() (metrics.Figure, error) {
 	return r.schemeSeries(2, "Fig6",
 		"Dynamic energy consumption of the two-application workloads",
-		"dynamic energy normalised to Fair Share", dynValue)
+		"dynamic energy normalised to Fair Share", false, dynValue)
 }
 
 // Fig7 is the static energy of the two-application workloads.
 func (r *Runner) Fig7() (metrics.Figure, error) {
 	return r.schemeSeries(2, "Fig7",
 		"Static energy consumption of the two-application workloads",
-		"static energy normalised to Fair Share", statValue)
+		"static energy normalised to Fair Share", false, statValue)
 }
 
 // Fig8 is the weighted speedup of the four-application workloads.
 func (r *Runner) Fig8() (metrics.Figure, error) {
 	return r.schemeSeries(4, "Fig8",
 		"Weighted speedup of the four-application workloads",
-		"weighted speedup normalised to Fair Share", wsValue)
+		"weighted speedup normalised to Fair Share", true, wsValue)
 }
 
 // Fig9 is the dynamic energy of the four-application workloads.
 func (r *Runner) Fig9() (metrics.Figure, error) {
 	return r.schemeSeries(4, "Fig9",
 		"Dynamic energy consumption of the four-application workloads",
-		"dynamic energy normalised to Fair Share", dynValue)
+		"dynamic energy normalised to Fair Share", false, dynValue)
 }
 
 // Fig10 is the static energy of the four-application workloads.
 func (r *Runner) Fig10() (metrics.Figure, error) {
 	return r.schemeSeries(4, "Fig10",
 		"Static energy consumption of the four-application workloads",
-		"static energy normalised to Fair Share", statValue)
+		"static energy normalised to Fair Share", false, statValue)
 }
 
 // thresholdSeries runs CoopPart at every threshold of Figures 11-13 on
 // the two-core groups and normalises each group's metric to the T=0
 // run.
-func (r *Runner) thresholdSeries(id, title, ylabel string,
+func (r *Runner) thresholdSeries(id, title, ylabel string, speedup bool,
 	value func(*Runner, *sim.Results) (float64, error)) (metrics.Figure, error) {
 
 	groups := workload.Groups2
+	var reqs []Request
+	for _, T := range Thresholds {
+		for _, g := range groups {
+			reqs = append(reqs, Request{Group: g, Scheme: sim.CoopPart, Threshold: T})
+		}
+	}
+	if err := r.runAll(reqs, speedup); err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{ID: id, Title: title, YLabel: ylabel, XLabel: "group"}
 	for _, g := range groups {
 		fig.X = append(fig.X, g.Name)
@@ -157,27 +172,30 @@ func (r *Runner) thresholdSeries(id, title, ylabel string,
 func (r *Runner) Fig11() (metrics.Figure, error) {
 	return r.thresholdSeries("Fig11",
 		"Impact of the takeover threshold value on performance",
-		"weighted speedup normalised to T=0", wsValue)
+		"weighted speedup normalised to T=0", true, wsValue)
 }
 
 // Fig12 is the takeover-threshold sweep's dynamic-energy impact.
 func (r *Runner) Fig12() (metrics.Figure, error) {
 	return r.thresholdSeries("Fig12",
 		"Impact of the takeover threshold value on dynamic energy",
-		"dynamic energy normalised to T=0", dynValue)
+		"dynamic energy normalised to T=0", false, dynValue)
 }
 
 // Fig13 is the takeover-threshold sweep's static-energy impact.
 func (r *Runner) Fig13() (metrics.Figure, error) {
 	return r.thresholdSeries("Fig13",
 		"Impact of the takeover threshold value on static energy",
-		"static energy normalised to T=0", statValue)
+		"static energy normalised to T=0", false, statValue)
 }
 
 // Fig14 is the breakdown of events that set takeover bits during way
 // transfers, as fractions per group (stacking to 1).
 func (r *Runner) Fig14() (metrics.Figure, error) {
 	groups := workload.Groups2
+	if err := r.Prefetch(groups, []sim.SchemeKind{sim.CoopPart}); err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "Fig14",
 		Title:  "Events that set takeover bits when transferring ways between cores",
@@ -230,6 +248,9 @@ func (r *Runner) Fig14() (metrics.Figure, error) {
 // versus Cooperative Partitioning.
 func (r *Runner) Fig15() (metrics.Figure, error) {
 	groups := workload.Groups2
+	if err := r.Prefetch(groups, []sim.SchemeKind{sim.UCP, sim.CoopPart}); err != nil {
+		return metrics.Figure{}, err
+	}
 	fig := metrics.Figure{
 		ID:     "Fig15",
 		Title:  "Cycles taken to transfer a way",
@@ -265,6 +286,9 @@ func (r *Runner) Fig15() (metrics.Figure, error) {
 // groups.
 func (r *Runner) Fig16() (metrics.Figure, error) {
 	groups := workload.Groups2
+	if err := r.Prefetch(groups, []sim.SchemeKind{sim.UCP, sim.CoopPart}); err != nil {
+		return metrics.Figure{}, err
+	}
 	var ucpTL, coopTL []float64
 	var ucpReps, coopReps uint64
 	var bucket int64

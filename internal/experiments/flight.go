@@ -1,0 +1,43 @@
+package experiments
+
+import "sync"
+
+// flight is a memoising singleflight map: concurrent callers of Do with
+// the same key block on a single execution and share its result forever
+// after. The memo is never evicted — the experiment space (groups x
+// schemes x thresholds x variants) is small and finite, and keeping
+// every result is exactly the Runner's job.
+type flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*inflight[V]
+}
+
+type inflight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Do returns the memoised value for key, executing fn exactly once per
+// key across all goroutines. fn runs on the first caller's goroutine;
+// later callers block until it finishes. Errors are memoised like
+// values: simulation runs are deterministic, so retrying an errored key
+// cannot produce a different outcome.
+func (f *flight[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[K]*inflight[V])
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &inflight[V]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}

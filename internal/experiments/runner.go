@@ -2,13 +2,18 @@
 // paper's evaluation (Tables 1-4, Figures 5-16) plus the ablations
 // listed in DESIGN.md §7. A Runner memoises simulation runs so that
 // figures sharing the same underlying experiments (e.g. Figures 5-7 all
-// consume the fourteen two-core runs per scheme) execute each run once.
+// consume the fourteen two-core runs per scheme) execute each run once,
+// and fans independent runs out over a bounded worker pool so that the
+// full reproduction scales with the host's cores (DESIGN.md §6).
 package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -16,7 +21,7 @@ import (
 
 // DefaultThreshold is the paper's operating point for Cooperative
 // Partitioning's T parameter (Section 5.1).
-const DefaultThreshold = 0.05
+const DefaultThreshold = sim.DefaultThreshold
 
 // Thresholds is the sweep of Figures 11-13.
 var Thresholds = []float64{0, 0.01, 0.05, 0.10, 0.20}
@@ -27,22 +32,71 @@ type Config struct {
 	Seed  uint64
 	// Threshold for CoopPart/DynCPE runs; DefaultThreshold if zero.
 	Threshold float64
+	// Workers bounds the number of simulations Prefetch/RunAll execute
+	// concurrently; GOMAXPROCS if zero. Results are bit-identical for
+	// every worker count: each simulation is an independent
+	// single-goroutine run keyed only by its configuration.
+	Workers int
 }
 
-// Runner executes and memoises simulation runs.
-type Runner struct {
-	cfg Config
+// Variant names a run-configuration mutation of the ablation and
+// extension studies (DESIGN.md §7). Variants are part of the memo key,
+// so an ablated run never aliases the plain run it is compared against.
+type Variant string
 
-	mu       sync.Mutex
-	runs     map[runKey]*sim.Results
-	alone    map[aloneKey]*sim.Results
-	profiles map[aloneKey]partition.CoreProfile
+const (
+	// VariantNone is the unmodified scheme.
+	VariantNone Variant = ""
+	// VariantRecipientMissOnly advances takeover only on recipient
+	// misses (UCP-style convergence).
+	VariantRecipientMissOnly Variant = "recipient-miss-only"
+	// VariantNoGating partitions identically but never powers ways off.
+	VariantNoGating Variant = "no-gating"
+	// VariantRandomVictim fills into a pseudo-random way of the owner's
+	// allocation instead of the LRU way.
+	VariantRandomVictim Variant = "random-victim"
+	// VariantDrowsy enables the drowsy-cache extension (paper Section 6).
+	VariantDrowsy Variant = "drowsy"
+)
+
+// applyVariant mutates cfg for the named variant.
+func applyVariant(cfg *sim.RunConfig, v Variant) error {
+	switch v {
+	case VariantNone:
+	case VariantRecipientMissOnly:
+		cfg.RecipientMissOnly = true
+	case VariantNoGating:
+		cfg.DisableGating = true
+	case VariantRandomVictim:
+		cfg.RandomVictim = true
+	case VariantDrowsy:
+		d := core.DefaultDrowsyConfig()
+		cfg.Drowsy = &d
+	default:
+		return fmt.Errorf("experiments: unknown variant %q", v)
+	}
+	return nil
+}
+
+// Runner executes and memoises simulation runs. All methods are safe
+// for concurrent use: each distinct run executes exactly once, with
+// duplicate requests blocking on the in-flight execution instead of
+// racing or serialising behind a global lock.
+type Runner struct {
+	cfg     Config
+	workers int
+	sims    atomic.Uint64
+
+	runs     flight[runKey, *sim.Results]
+	alone    flight[aloneKey, *sim.Results]
+	profiles flight[aloneKey, partition.CoreProfile]
 }
 
 type runKey struct {
 	group     string
 	scheme    sim.SchemeKind
 	threshold float64
+	variant   Variant
 }
 
 type aloneKey struct {
@@ -51,7 +105,7 @@ type aloneKey struct {
 }
 
 // NewRunner builds a Runner; a zero-value Config gets the test scale,
-// seed 1 and the paper's threshold.
+// seed 1, the paper's threshold and one worker per CPU.
 func NewRunner(cfg Config) *Runner {
 	if cfg.Scale.Name == "" {
 		cfg.Scale = sim.TestScale()
@@ -62,35 +116,28 @@ func NewRunner(cfg Config) *Runner {
 	if cfg.Threshold == 0 {
 		cfg.Threshold = DefaultThreshold
 	}
-	return &Runner{
-		cfg:      cfg,
-		runs:     make(map[runKey]*sim.Results),
-		alone:    make(map[aloneKey]*sim.Results),
-		profiles: make(map[aloneKey]partition.CoreProfile),
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	return &Runner{cfg: cfg, workers: workers}
 }
 
 // Scale returns the runner's simulation scale.
 func (r *Runner) Scale() sim.Scale { return r.cfg.Scale }
 
+// Simulations returns how many simulator executions the runner has
+// actually performed (as opposed to answered from the memo) — the
+// observability hook the memoisation and singleflight tests pin.
+func (r *Runner) Simulations() uint64 { return r.sims.Load() }
+
 // AloneResults returns (memoised) the solo run of a benchmark on the
 // LLC geometry used by groups of the given core count.
 func (r *Runner) AloneResults(benchmark string, cores int) (*sim.Results, error) {
-	key := aloneKey{benchmark, cores}
-	r.mu.Lock()
-	res, ok := r.alone[key]
-	r.mu.Unlock()
-	if ok {
-		return res, nil
-	}
-	res, err := sim.RunAlone(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.alone[key] = res
-	r.mu.Unlock()
-	return res, nil
+	return r.alone.Do(aloneKey{benchmark, cores}, func() (*sim.Results, error) {
+		r.sims.Add(1)
+		return sim.RunAlone(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
+	})
 }
 
 // AloneIPC returns a benchmark's alone IPC for Equation 1.
@@ -105,67 +152,53 @@ func (r *Runner) AloneIPC(benchmark string, cores int) (float64, error) {
 // Profile returns (memoised) the per-phase utility profile of a
 // benchmark for Dynamic CPE.
 func (r *Runner) Profile(benchmark string, cores int) (partition.CoreProfile, error) {
-	key := aloneKey{benchmark, cores}
-	r.mu.Lock()
-	p, ok := r.profiles[key]
-	r.mu.Unlock()
-	if ok {
-		return p, nil
-	}
-	p, err := sim.ProfileBenchmark(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
-	if err != nil {
-		return partition.CoreProfile{}, err
-	}
-	r.mu.Lock()
-	r.profiles[key] = p
-	r.mu.Unlock()
-	return p, nil
+	return r.profiles.Do(aloneKey{benchmark, cores}, func() (partition.CoreProfile, error) {
+		r.sims.Add(1)
+		return sim.ProfileBenchmark(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
+	})
 }
 
 // RunGroup executes (memoised) one group under one scheme at the
 // runner's threshold.
 func (r *Runner) RunGroup(g workload.Group, scheme sim.SchemeKind) (*sim.Results, error) {
-	return r.RunGroupThreshold(g, scheme, r.cfg.Threshold)
+	return r.RunGroupVariant(g, scheme, r.cfg.Threshold, VariantNone)
 }
 
 // RunGroupThreshold is RunGroup with an explicit CoopPart threshold
-// (Figures 11-13 sweep it).
+// (Figures 11-13 sweep it). A threshold of 0 means exactly zero — it is
+// memoised distinctly from DefaultThreshold and encoded for the
+// simulator by sim.EncodeThreshold.
 func (r *Runner) RunGroupThreshold(g workload.Group, scheme sim.SchemeKind, threshold float64) (*sim.Results, error) {
-	key := runKey{g.Name, scheme, threshold}
-	r.mu.Lock()
-	res, ok := r.runs[key]
-	r.mu.Unlock()
-	if ok {
-		return res, nil
-	}
+	return r.RunGroupVariant(g, scheme, threshold, VariantNone)
+}
 
-	cfg := sim.RunConfig{
-		Scale:     r.cfg.Scale,
-		Scheme:    scheme,
-		Group:     g,
-		Threshold: threshold,
-		Seed:      r.cfg.Seed,
-	}
-	if threshold == 0 {
-		cfg.Threshold = -1 // explicit zero (sim treats 0 as "default")
-	}
-	if scheme == sim.DynCPE {
-		for _, b := range g.Benchmarks {
-			p, err := r.Profile(b, len(g.Benchmarks))
-			if err != nil {
-				return nil, err
-			}
-			cfg.Profiles = append(cfg.Profiles, p)
+// RunGroupVariant is the fully keyed run: group x scheme x threshold x
+// ablation variant.
+func (r *Runner) RunGroupVariant(g workload.Group, scheme sim.SchemeKind, threshold float64, v Variant) (*sim.Results, error) {
+	key := runKey{g.Name, scheme, threshold, v}
+	return r.runs.Do(key, func() (*sim.Results, error) {
+		cfg := sim.RunConfig{
+			Scale:     r.cfg.Scale,
+			Scheme:    scheme,
+			Group:     g,
+			Threshold: sim.EncodeThreshold(threshold),
+			Seed:      r.cfg.Seed,
 		}
-	}
-	res, err := sim.Run(cfg)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	r.runs[key] = res
-	r.mu.Unlock()
-	return res, nil
+		if err := applyVariant(&cfg, v); err != nil {
+			return nil, err
+		}
+		if scheme == sim.DynCPE {
+			for _, b := range g.Benchmarks {
+				p, err := r.Profile(b, len(g.Benchmarks))
+				if err != nil {
+					return nil, err
+				}
+				cfg.Profiles = append(cfg.Profiles, p)
+			}
+		}
+		r.sims.Add(1)
+		return sim.Run(cfg)
+	})
 }
 
 // WeightedSpeedup computes Equation 1 for one run.
@@ -179,6 +212,156 @@ func (r *Runner) WeightedSpeedup(res *sim.Results) (float64, error) {
 		alone[b] = ipc
 	}
 	return res.WeightedSpeedup(alone)
+}
+
+// Request names one memoisable run for RunAll. Threshold follows
+// RunGroupThreshold semantics: 0 is an explicit zero threshold, not the
+// runner's default.
+type Request struct {
+	Group     workload.Group
+	Scheme    sim.SchemeKind
+	Threshold float64
+	Variant   Variant
+}
+
+// RunAll executes every request — plus the Dynamic CPE profiles any
+// DynCPE request needs — across the runner's worker pool, blocking
+// until all finish. Requests already memoised cost nothing; duplicate
+// requests collapse onto one execution. The first error encountered is
+// returned after all workers drain. Callers that will compute weighted
+// speedups from the results should use RunAllSpeedup so Equation 1's
+// solo runs join the same fan-out.
+func (r *Runner) RunAll(reqs []Request) error { return r.runAll(reqs, false) }
+
+// RunAllSpeedup is RunAll plus the solo run of each involved benchmark
+// — Equation 1's denominators, which WeightedSpeedup would otherwise
+// execute serially afterwards.
+func (r *Runner) RunAllSpeedup(reqs []Request) error { return r.runAll(reqs, true) }
+
+func (r *Runner) runAll(reqs []Request, speedup bool) error {
+	var tasks []func() error
+	seenAlone := make(map[aloneKey]bool)
+	seenProfile := make(map[aloneKey]bool)
+	for _, req := range reqs {
+		cores := len(req.Group.Benchmarks)
+		for _, b := range req.Group.Benchmarks {
+			k := aloneKey{b, cores}
+			if speedup && !seenAlone[k] {
+				seenAlone[k] = true
+				tasks = append(tasks, func() error {
+					_, err := r.AloneResults(k.benchmark, k.cores)
+					return err
+				})
+			}
+			if req.Scheme == sim.DynCPE && !seenProfile[k] {
+				seenProfile[k] = true
+				tasks = append(tasks, func() error {
+					_, err := r.Profile(k.benchmark, k.cores)
+					return err
+				})
+			}
+		}
+	}
+	for _, req := range reqs {
+		tasks = append(tasks, func() error {
+			_, err := r.RunGroupVariant(req.Group, req.Scheme, req.Threshold, req.Variant)
+			return err
+		})
+	}
+	return r.fanOut(tasks)
+}
+
+// Prefetch warms the memo for the cross product of groups and schemes
+// at the runner's threshold, fanning the runs out over the worker pool.
+// Figure and table generators call it (or PrefetchSpeedup, when they
+// also need Equation 1's solo runs) first, then collect results from
+// the warm cache serially.
+func (r *Runner) Prefetch(groups []workload.Group, schemes []sim.SchemeKind) error {
+	return r.RunAll(r.crossRequests(groups, schemes))
+}
+
+// PrefetchSpeedup is Prefetch plus the solo runs of every involved
+// benchmark.
+func (r *Runner) PrefetchSpeedup(groups []workload.Group, schemes []sim.SchemeKind) error {
+	return r.RunAllSpeedup(r.crossRequests(groups, schemes))
+}
+
+// crossRequests builds the groups x schemes request list at the
+// runner's threshold.
+func (r *Runner) crossRequests(groups []workload.Group, schemes []sim.SchemeKind) []Request {
+	reqs := make([]Request, 0, len(groups)*len(schemes))
+	for _, g := range groups {
+		for _, s := range schemes {
+			reqs = append(reqs, Request{Group: g, Scheme: s, Threshold: r.cfg.Threshold})
+		}
+	}
+	return reqs
+}
+
+// runPairs warms a baseline and a comparison arm for every group: the
+// two template requests are stamped with each group in turn and fanned
+// out together — the shape every two-arm ablation shares.
+func (r *Runner) runPairs(groups []workload.Group, speedup bool, base, alt Request) error {
+	reqs := make([]Request, 0, 2*len(groups))
+	for _, g := range groups {
+		base.Group, alt.Group = g, g
+		reqs = append(reqs, base, alt)
+	}
+	return r.runAll(reqs, speedup)
+}
+
+// PrefetchAlone warms the solo runs of the given benchmarks on the
+// LLC geometry of cores-sized groups (Table 3 measures all of them).
+func (r *Runner) PrefetchAlone(benchmarks []string, cores int) error {
+	tasks := make([]func() error, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		tasks = append(tasks, func() error {
+			_, err := r.AloneResults(b, cores)
+			return err
+		})
+	}
+	return r.fanOut(tasks)
+}
+
+// fanOut runs tasks on the runner's bounded worker pool and returns the
+// first error. Tasks execute nested dependencies (profiles, solo runs)
+// inline through the singleflight memo, so a worker never submits work
+// back to the pool and the pool cannot deadlock.
+func (r *Runner) fanOut(tasks []func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	workers := r.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	work := make(chan func() error)
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for task := range work {
+				if err := task(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, task := range tasks {
+		work <- task
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
 }
 
 // groupsFor returns the paper's group list for a core count.

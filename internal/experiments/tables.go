@@ -84,8 +84,16 @@ type Table3Row struct {
 }
 
 // Table3 measures every benchmark's solo LLC MPKI on the two-core
-// geometry and classifies it, mirroring the paper's Table 3.
+// geometry and classifies it, mirroring the paper's Table 3. The
+// nineteen solo runs are independent and fan out over the worker pool.
 func (r *Runner) Table3() ([]Table3Row, error) {
+	names := make([]string, 0, len(workload.All()))
+	for _, b := range workload.All() {
+		names = append(names, b.Name)
+	}
+	if err := r.PrefetchAlone(names, 2); err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
 	for _, b := range workload.All() {
 		res, err := r.AloneResults(b.Name, 2)

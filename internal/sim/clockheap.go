@@ -1,0 +1,115 @@
+package sim
+
+import "repro/internal/cpu"
+
+// clockHeap is an indexed binary min-heap over the local clocks of a
+// fixed set of cores, ordered by (clock, core index). The secondary
+// index order makes Min agree exactly with a linear scan using strict
+// less-than — the tie-break the serial simulator always had — so
+// replacing the O(n) scan with the heap cannot change simulation
+// results.
+//
+// Clocks are cached as plain int64 keys: the stepping loop reads each
+// core's clock once per step (on FixMin) instead of n times per
+// linear scan, and heap comparisons are integer compares. The loop
+// only ever advances the clock of the minimum core, so Min followed by
+// FixMin (a single sift-down of the root) is the whole interface.
+type clockHeap struct {
+	now []int64 // cached clock per item index
+	idx []int   // heap of item indices
+}
+
+// newClockHeap heapifies the given initial clocks; clocks is retained.
+func newClockHeap(clocks []int64) *clockHeap {
+	h := &clockHeap{now: clocks, idx: make([]int, len(clocks))}
+	for i := range h.idx {
+		h.idx[i] = i
+	}
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// less orders heap slots a, b by (clock, item index).
+func (h *clockHeap) less(a, b int) bool {
+	ia, ib := h.idx[a], h.idx[b]
+	na, nb := h.now[ia], h.now[ib]
+	if na != nb {
+		return na < nb
+	}
+	return ia < ib
+}
+
+func (h *clockHeap) siftDown(i int) {
+	n := len(h.idx)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h.idx[i], h.idx[m] = h.idx[m], h.idx[i]
+		i = m
+	}
+}
+
+// Min returns the item index with the smallest (clock, index).
+func (h *clockHeap) Min() int { return h.idx[0] }
+
+// FixMin records the minimum item's advanced clock and restores heap
+// order.
+func (h *clockHeap) FixMin(now int64) {
+	h.now[h.idx[0]] = now
+	h.siftDown(0)
+}
+
+// corePicker selects the next core to step. One- and two-core systems
+// keep the linear scan (a single compare — cheaper than any heap
+// bookkeeping), larger CMPs use the O(log n) heap; both orders are
+// identical by construction, the split is purely a constant-factor
+// choice.
+type corePicker struct {
+	cores []*cpu.Core
+	heap  *clockHeap // nil selects the linear scan
+}
+
+// newPicker builds the picker for the system's core count.
+func (s *System) newPicker() corePicker {
+	p := corePicker{cores: s.cores}
+	if len(s.cores) >= 4 {
+		clocks := make([]int64, len(s.cores))
+		for i, c := range s.cores {
+			clocks[i] = c.Now()
+		}
+		p.heap = newClockHeap(clocks)
+	}
+	return p
+}
+
+// Min returns the index of the core with the smallest (clock, index).
+func (p *corePicker) Min() int {
+	if p.heap != nil {
+		return p.heap.Min()
+	}
+	min := 0
+	for i := 1; i < len(p.cores); i++ {
+		if p.cores[i].Now() < p.cores[min].Now() {
+			min = i
+		}
+	}
+	return min
+}
+
+// FixMin records that the minimum core's clock advanced to now.
+func (p *corePicker) FixMin(now int64) {
+	if p.heap != nil {
+		p.heap.FixMin(now)
+	}
+}

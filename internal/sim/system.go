@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -75,6 +76,7 @@ type System struct {
 
 	nextDecision int64
 	lineBytes    int
+	lineShift    uint  // log2(lineBytes), hoisted out of the access path
 	measureFrom  int64 // clock at the end of warm-up (energy reset point)
 
 	profMon    *umon.Monitor
@@ -95,14 +97,7 @@ func NewSystem(cfg RunConfig) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Threshold == 0 && (cfg.Scheme == CoopPart || cfg.Scheme == DynCPE) {
-		// The paper's operating point; explicit zero is expressed by a
-		// negative value.
-		cfg.Threshold = 0.05
-	}
-	if cfg.Threshold < 0 {
-		cfg.Threshold = 0
-	}
+	cfg.Threshold = effectiveThreshold(cfg.Threshold, cfg.Scheme)
 
 	dram := mem.New(cfg.Scale.Mem)
 	pcfg := partition.Config{
@@ -153,6 +148,7 @@ func NewSystem(cfg RunConfig) (*System, error) {
 		meter:        energy.NewMeter(params, l2cfg.Ways),
 		nextDecision: cfg.Scale.PhaseCycles,
 		lineBytes:    l2cfg.LineBytes,
+		lineShift:    uint(bits.TrailingZeros(uint(l2cfg.LineBytes))),
 	}
 	wayLines := l2cfg.Sets()
 	for i, name := range cfg.Group.Benchmarks {
@@ -195,7 +191,7 @@ func (s *System) Access(coreID int, addr uint64, isWrite bool, now int64) cpu.Ac
 	// latency is hidden by the write buffer, only energy and cache
 	// state matter).
 	if ev.Valid && ev.Dirty {
-		wbAddr := ev.Line << uint(log2(s.lineBytes))
+		wbAddr := ev.Line << s.lineShift
 		wbRes := s.scheme.Access(coreID, wbAddr, true, now)
 		s.chargeAccess(wbRes, true, now)
 	}
@@ -204,7 +200,7 @@ func (s *System) Access(coreID int, addr uint64, isWrite bool, now int64) cpu.Ac
 	res := s.scheme.Access(coreID, addr, false, now)
 	s.chargeAccess(res, false, now)
 	if s.profMon != nil && coreID == 0 {
-		l2line := addr >> uint(log2(s.lineBytes))
+		l2line := addr >> s.lineShift
 		s.profMon.Access(int(l2line)%s.profMon.Config().Sets, l2line)
 		s.profAccs++
 	}
@@ -250,17 +246,6 @@ func (s *System) chargeAccess(res partition.Result, isWrite bool, now int64) {
 	}
 }
 
-// minCore returns the index of the core with the smallest local clock.
-func (s *System) minCore() int {
-	min := 0
-	for i := 1; i < len(s.cores); i++ {
-		if s.cores[i].Now() < s.cores[min].Now() {
-			min = i
-		}
-	}
-	return min
-}
-
 // decide runs one phase boundary.
 func (s *System) decide(now int64) {
 	reps := s.scheme.Stats().Repartitions
@@ -294,9 +279,9 @@ func (s *System) runUntil(target uint64) {
 			remaining++
 		}
 	}
+	h := s.newPicker()
 	for remaining > 0 {
-		ci := s.minCore()
-		c := s.cores[ci]
+		c := s.cores[h.Min()]
 		now := c.Now()
 		for now >= s.nextDecision {
 			s.decide(s.nextDecision)
@@ -304,6 +289,7 @@ func (s *System) runUntil(target uint64) {
 		}
 		before := c.Retired()
 		c.Step()
+		h.FixMin(c.Now())
 		if before < target && c.Retired() >= target {
 			remaining--
 		}
@@ -329,8 +315,9 @@ func (s *System) Run() *Results {
 	target := s.cfg.Scale.InstrPerApp
 	recorded := make([]bool, n)
 	done := 0
+	h := s.newPicker()
 	for done < n {
-		ci := s.minCore()
+		ci := h.Min()
 		c := s.cores[ci]
 		now := c.Now()
 		for now >= s.nextDecision {
@@ -338,6 +325,7 @@ func (s *System) Run() *Results {
 			s.nextDecision += s.cfg.Scale.PhaseCycles
 		}
 		c.Step()
+		h.FixMin(c.Now())
 		if !recorded[ci] && c.Retired() >= target {
 			recorded[ci] = true
 			done++
@@ -414,14 +402,4 @@ func Run(cfg RunConfig) (*Results, error) {
 		return nil, err
 	}
 	return s.Run(), nil
-}
-
-// log2 returns floor(log2(v)) for positive v.
-func log2(v int) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Record one benchmark trajectory point for perf PRs.
+#
+# Runs the whole benchmark suite and writes the `go test -json` stream
+# to BENCH_<n>.json at the repo root, picking the first unused n. The
+# benchstat-compatible text lines are the Output fields of the stream;
+# to compare two points:
+#
+#   jq -r 'select(.Action=="output") | .Output' BENCH_0.json > old.txt
+#   jq -r 'select(.Action=="output") | .Output' BENCH_1.json > new.txt
+#   benchstat old.txt new.txt
+#
+# Environment knobs:
+#   BENCH_PATTERN  -bench regex            (default: .)
+#   BENCH_TIME     -benchtime              (default: 1x)
+#   BENCH_COUNT    -count                  (default: 1; use >=5 for benchstat significance)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+n=0
+while [ -e "BENCH_${n}.json" ]; do
+	n=$((n + 1))
+done
+out="BENCH_${n}.json"
+
+go test -json -run='^$' \
+	-bench="${BENCH_PATTERN:-.}" \
+	-benchtime="${BENCH_TIME:-1x}" \
+	-count="${BENCH_COUNT:-1}" \
+	./... >"$out"
+
+echo "wrote $out"
