@@ -7,15 +7,20 @@
 //
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
 //	        [-scale test|full] [-seed 1] [-compare] [-workers N]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -compare, all five schemes run on the group and a comparison
-// table is printed.
+// table is printed. The -cpuprofile/-memprofile flags write pprof
+// profiles of the run, so perf work can profile a single simulation
+// (`go tool pprof cpu.out`) without editing code.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
@@ -33,7 +38,34 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compare := flag.Bool("compare", false, "run every scheme and print a comparison")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	g, err := workload.FindGroup(*group)
 	if err != nil {

@@ -9,6 +9,17 @@
 // are flushed — is supplied by the caller through way masks and victim
 // selectors, so the same substrate serves the Unmanaged, Fair Share,
 // Dynamic CPE, UCP and Cooperative Partitioning schemes.
+//
+// Internally the state is laid out struct-of-arrays, mirroring the
+// paper's own split between the tag array and the 2-bit-per-tag
+// partitioning metadata (Section 2.5): a dense tags slice, one
+// valid/dirty bitmask word per set, and separate owner and recency
+// slices. The per-access hot path (Probe, Victim) therefore touches
+// only the tags plus one valid word — a validity test is a bit test,
+// and the invalid-way scan in Victim is a single trailing-zeros
+// instruction — instead of striding across ~40-byte Block structs.
+// The Block type survives as the assembled per-way view returned to
+// callers; see DESIGN.md §2 for the layout invariants.
 package cache
 
 import (
@@ -27,9 +38,10 @@ type LineAddr = uint64
 // (only used transiently, e.g. after an ownership hand-off).
 const NoOwner = -1
 
-// Block is one cache line's metadata. Data contents are not simulated;
-// only the state needed for timing, energy and coherence-free
-// partitioning decisions is kept.
+// Block is one cache line's metadata, assembled on demand from the
+// struct-of-arrays state. Data contents are not simulated; only the
+// state needed for timing, energy and coherence-free partitioning
+// decisions is kept.
 type Block struct {
 	Tag   uint64
 	Valid bool
@@ -73,13 +85,27 @@ func (c Config) Validate() error {
 
 // Cache is a set-associative cache. It is not safe for concurrent use;
 // the simulator drives it from a single goroutine.
+//
+// Layout invariants (struct-of-arrays):
+//   - tags, owners and lru are numSets*ways long, row-major by set;
+//   - valid and dirty hold one bitmask word per set (bit w = way w;
+//     Ways <= 64 is enforced by Config.Validate);
+//   - dirty is always a subset of valid;
+//   - an invalid way has tag 0, owner NoOwner and lru 0, exactly the
+//     state a zero-value or invalidated Block had in the old
+//     array-of-structs layout.
 type Cache struct {
 	cfg     Config
-	sets    []Block // numSets * ways, row-major
+	tags    []uint64 // numSets * ways, row-major
+	owners  []int32  // numSets * ways
+	lru     []uint64 // numSets * ways
+	valid   []uint64 // numSets bitmask words
+	dirty   []uint64 // numSets bitmask words
 	numSets int
 	ways    int
 	idxMask uint64
 	offBits uint
+	setBits uint   // log2(numSets), hoisted out of TagOf/LineFrom
 	allMask uint64 // mask with every way enabled, precomputed
 	clock   uint64 // global recency counter
 	stats   Stats
@@ -95,19 +121,24 @@ func New(cfg Config) *Cache {
 	numSets := cfg.Sets()
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([]Block, numSets*cfg.Ways),
+		tags:    make([]uint64, numSets*cfg.Ways),
+		owners:  make([]int32, numSets*cfg.Ways),
+		lru:     make([]uint64, numSets*cfg.Ways),
+		valid:   make([]uint64, numSets),
+		dirty:   make([]uint64, numSets),
 		numSets: numSets,
 		ways:    cfg.Ways,
 		idxMask: uint64(numSets - 1),
 		offBits: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setBits: uint(bits.TrailingZeros(uint(numSets))),
 	}
 	if cfg.Ways == 64 {
 		c.allMask = ^uint64(0)
 	} else {
 		c.allMask = (uint64(1) << uint(cfg.Ways)) - 1
 	}
-	for i := range c.sets {
-		c.sets[i].Owner = NoOwner
+	for i := range c.owners {
+		c.owners[i] = NoOwner
 	}
 	return c
 }
@@ -134,20 +165,36 @@ func (c *Cache) Line(addr Addr) LineAddr { return addr >> c.offBits }
 func (c *Cache) Index(line LineAddr) int { return int(line & c.idxMask) }
 
 // TagOf returns the tag for a line address.
-func (c *Cache) TagOf(line LineAddr) uint64 { return line >> uint(bits.TrailingZeros(uint(c.numSets))) }
+func (c *Cache) TagOf(line LineAddr) uint64 { return line >> c.setBits }
 
 // LineFrom reconstructs a line address from a set index and tag.
 func (c *Cache) LineFrom(set int, tag uint64) LineAddr {
-	return tag<<uint(bits.TrailingZeros(uint(c.numSets))) | uint64(set)
+	return tag<<c.setBits | uint64(set)
 }
 
-// blockAt returns the block at (set, way).
-func (c *Cache) blockAt(set, way int) *Block {
-	return &c.sets[set*c.ways+way]
+// Block assembles a copy of the block at (set, way) for inspection.
+func (c *Cache) Block(set, way int) Block {
+	i := set*c.ways + way
+	bit := uint64(1) << uint(way)
+	return Block{
+		Tag:   c.tags[i],
+		Valid: c.valid[set]&bit != 0,
+		Dirty: c.dirty[set]&bit != 0,
+		Owner: int(c.owners[i]),
+		LRU:   c.lru[i],
+	}
 }
 
-// Block returns a copy of the block at (set, way) for inspection.
-func (c *Cache) Block(set, way int) Block { return *c.blockAt(set, way) }
+// ValidAt reports whether the block at (set, way) is valid. It is a
+// single bit test; callers that need only one field should prefer the
+// *At accessors over assembling a whole Block.
+func (c *Cache) ValidAt(set, way int) bool { return c.valid[set]&(1<<uint(way)) != 0 }
+
+// OwnerAt returns the owner of the block at (set, way).
+func (c *Cache) OwnerAt(set, way int) int { return int(c.owners[set*c.ways+way]) }
+
+// LRUAt returns the recency stamp of the block at (set, way).
+func (c *Cache) LRUAt(set, way int) uint64 { return c.lru[set*c.ways+way] }
 
 // AllMask returns the way mask with every way enabled.
 func (c *Cache) AllMask() uint64 { return c.allMask }
@@ -155,28 +202,20 @@ func (c *Cache) AllMask() uint64 { return c.allMask }
 // Probe searches the ways selected by mask for the tag of line. It
 // returns the hit way and true, or -1 and false. Probe does not update
 // recency state; callers that want a full access should use Access.
-// The number of tags consulted equals the popcount of mask, which is
-// what the dynamic-energy model charges.
+//
+// Only valid masked ways are visited (ascending, matching the old
+// array-of-structs walk): the valid word prunes empty ways before any
+// tag is read, so the scan is a dense tag compare. The dynamic-energy
+// model still charges the popcount of mask — the hardware enables that
+// many tag ways regardless of how many the simulator's pruned walk
+// actually reads — which the schemes compute from mask, not from this
+// walk.
 func (c *Cache) Probe(set int, tag uint64, mask uint64) (int, bool) {
 	base := set * c.ways
-	if mask == c.allMask {
-		// Full-mask fast path — every L1 access and every unpartitioned
-		// LLC access takes it: scan the set's ways linearly instead of
-		// iterating mask bits. Way order matches the masked walk
-		// (ascending), so results are identical.
-		ways := c.sets[base : base+c.ways]
-		for w := range ways {
-			b := &ways[w]
-			if b.Valid && b.Tag == tag {
-				return w, true
-			}
-		}
-		return -1, false
-	}
-	for m := mask; m != 0; m &= m - 1 {
+	tags := c.tags[base : base+c.ways]
+	for m := c.valid[set] & mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
-		b := &c.sets[base+w]
-		if b.Valid && b.Tag == tag {
+		if tags[w] == tag {
 			return w, true
 		}
 	}
@@ -186,38 +225,28 @@ func (c *Cache) Probe(set int, tag uint64, mask uint64) (int, bool) {
 // Touch marks (set, way) as most recently used.
 func (c *Cache) Touch(set, way int) {
 	c.clock++
-	c.blockAt(set, way).LRU = c.clock
+	c.lru[set*c.ways+way] = c.clock
 }
 
 // Victim returns the way to replace among the ways in mask: an invalid
 // way if one exists, otherwise the least recently used way in the mask.
 // It returns -1 if the mask is empty.
+//
+// The invalid-way scan is a single bit operation on the set's valid
+// word; the LRU scan then only visits valid masked ways.
 func (c *Cache) Victim(set int, mask uint64) int {
+	valid := c.valid[set]
+	if inv := ^valid & mask; inv != 0 {
+		// First invalid masked way, as in the old ascending walk.
+		return bits.TrailingZeros64(inv)
+	}
 	best, bestLRU := -1, ^uint64(0)
 	base := set * c.ways
-	if mask == c.allMask {
-		// Full-mask fast path; see Probe. First invalid way wins, as in
-		// the masked walk.
-		ways := c.sets[base : base+c.ways]
-		for w := range ways {
-			b := &ways[w]
-			if !b.Valid {
-				return w
-			}
-			if b.LRU < bestLRU {
-				best, bestLRU = w, b.LRU
-			}
-		}
-		return best
-	}
-	for m := mask; m != 0; m &= m - 1 {
+	lru := c.lru[base : base+c.ways]
+	for m := valid & mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
-		b := &c.sets[base+w]
-		if !b.Valid {
-			return w
-		}
-		if b.LRU < bestLRU {
-			best, bestLRU = w, b.LRU
+		if lru[w] < bestLRU {
+			best, bestLRU = w, lru[w]
 		}
 	}
 	return best
@@ -229,14 +258,13 @@ func (c *Cache) Victim(set int, mask uint64) int {
 func (c *Cache) VictimOwnedBy(set, owner int, mask uint64) int {
 	best, bestLRU := -1, ^uint64(0)
 	base := set * c.ways
-	for m := mask; m != 0; m &= m - 1 {
+	for m := c.valid[set] & mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
-		b := &c.sets[base+w]
-		if !b.Valid || b.Owner != owner {
+		if int(c.owners[base+w]) != owner {
 			continue
 		}
-		if b.LRU < bestLRU {
-			best, bestLRU = w, b.LRU
+		if c.lru[base+w] < bestLRU {
+			best, bestLRU = w, c.lru[base+w]
 		}
 	}
 	return best
@@ -247,10 +275,9 @@ func (c *Cache) VictimOwnedBy(set, owner int, mask uint64) int {
 func (c *Cache) CountOwned(set, owner int, mask uint64) int {
 	n := 0
 	base := set * c.ways
-	for m := mask; m != 0; m &= m - 1 {
+	for m := c.valid[set] & mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
-		b := &c.sets[base+w]
-		if b.Valid && b.Owner == owner {
+		if int(c.owners[base+w]) == owner {
 			n++
 		}
 	}
@@ -268,13 +295,26 @@ type Evicted struct {
 // InstallAt writes a new block into (set, way), returning the displaced
 // block. The new block is marked most recently used.
 func (c *Cache) InstallAt(set, way int, tag uint64, owner int, dirty bool) Evicted {
-	b := c.blockAt(set, way)
-	ev := Evicted{Valid: b.Valid, Dirty: b.Dirty, Owner: b.Owner}
-	if b.Valid {
-		ev.Line = c.LineFrom(set, b.Tag)
+	i := set*c.ways + way
+	bit := uint64(1) << uint(way)
+	ev := Evicted{
+		Valid: c.valid[set]&bit != 0,
+		Dirty: c.dirty[set]&bit != 0,
+		Owner: int(c.owners[i]),
+	}
+	if ev.Valid {
+		ev.Line = c.LineFrom(set, c.tags[i])
 	}
 	c.clock++
-	*b = Block{Tag: tag, Valid: true, Dirty: dirty, Owner: owner, LRU: c.clock}
+	c.tags[i] = tag
+	c.owners[i] = int32(owner)
+	c.lru[i] = c.clock
+	c.valid[set] |= bit
+	if dirty {
+		c.dirty[set] |= bit
+	} else {
+		c.dirty[set] &^= bit
+	}
 	if ev.Valid {
 		c.stats.Evictions++
 		if ev.Dirty {
@@ -285,35 +325,53 @@ func (c *Cache) InstallAt(set, way int, tag uint64, owner int, dirty bool) Evict
 }
 
 // MarkDirty sets the dirty bit of the block at (set, way).
-func (c *Cache) MarkDirty(set, way int) { c.blockAt(set, way).Dirty = true }
+func (c *Cache) MarkDirty(set, way int) { c.dirty[set] |= 1 << uint(way) }
 
 // SetOwner rewrites the owner of the block at (set, way) without
 // touching recency or dirtiness. Used when ownership of a way's contents
 // transfers between cores.
-func (c *Cache) SetOwner(set, way, owner int) { c.blockAt(set, way).Owner = owner }
+func (c *Cache) SetOwner(set, way, owner int) { c.owners[set*c.ways+way] = int32(owner) }
 
 // FlushBlock cleans the block at (set, way). It returns the line address
 // and true if the block was valid and dirty (i.e. a writeback to memory
 // is required). The block remains valid but clean.
 func (c *Cache) FlushBlock(set, way int) (LineAddr, bool) {
-	b := c.blockAt(set, way)
-	if !b.Valid || !b.Dirty {
+	bit := uint64(1) << uint(way)
+	if c.valid[set]&c.dirty[set]&bit == 0 {
 		return 0, false
 	}
-	b.Dirty = false
+	c.dirty[set] &^= bit
 	c.stats.Flushes++
-	return c.LineFrom(set, b.Tag), true
+	return c.LineFrom(set, c.tags[set*c.ways+way]), true
+}
+
+// clearBlock resets (set, way) to the invalid state the zero-value
+// array-of-structs layout had: tag 0, owner NoOwner, lru 0, valid and
+// dirty bits cleared.
+func (c *Cache) clearBlock(set, way int) {
+	i := set*c.ways + way
+	bit := uint64(1) << uint(way)
+	c.tags[i] = 0
+	c.owners[i] = NoOwner
+	c.lru[i] = 0
+	c.valid[set] &^= bit
+	c.dirty[set] &^= bit
 }
 
 // InvalidateBlock invalidates the block at (set, way), returning the
 // evicted metadata (callers write back dirty data themselves).
 func (c *Cache) InvalidateBlock(set, way int) Evicted {
-	b := c.blockAt(set, way)
-	ev := Evicted{Valid: b.Valid, Dirty: b.Dirty, Owner: b.Owner}
-	if b.Valid {
-		ev.Line = c.LineFrom(set, b.Tag)
+	i := set*c.ways + way
+	bit := uint64(1) << uint(way)
+	ev := Evicted{
+		Valid: c.valid[set]&bit != 0,
+		Dirty: c.dirty[set]&bit != 0,
+		Owner: int(c.owners[i]),
 	}
-	*b = Block{Owner: NoOwner}
+	if ev.Valid {
+		ev.Line = c.LineFrom(set, c.tags[i])
+	}
+	c.clearBlock(set, way)
 	return ev
 }
 
@@ -321,23 +379,21 @@ func (c *Cache) InvalidateBlock(set, way int) Evicted {
 // sets, invoking wb for each valid dirty block. This models the
 // gated-Vdd power-off of a way (non-state-preserving, Section 6).
 func (c *Cache) InvalidateWay(way int, wb func(LineAddr)) {
+	bit := uint64(1) << uint(way)
 	for s := 0; s < c.numSets; s++ {
-		b := c.blockAt(s, way)
-		if b.Valid && b.Dirty && wb != nil {
-			wb(c.LineFrom(s, b.Tag))
+		if c.valid[s]&c.dirty[s]&bit != 0 && wb != nil {
+			wb(c.LineFrom(s, c.tags[s*c.ways+way]))
 		}
-		*b = Block{Owner: NoOwner}
+		c.clearBlock(s, way)
 	}
 }
 
 // ForEachValid calls fn for every valid block, with its set and way.
 func (c *Cache) ForEachValid(fn func(set, way int, b Block)) {
 	for s := 0; s < c.numSets; s++ {
-		for w := 0; w < c.ways; w++ {
-			b := c.blockAt(s, w)
-			if b.Valid {
-				fn(s, w, *b)
-			}
+		for m := c.valid[s]; m != 0; m &= m - 1 {
+			w := bits.TrailingZeros64(m)
+			fn(s, w, c.Block(s, w))
 		}
 	}
 }
@@ -347,9 +403,9 @@ func (c *Cache) ForEachValid(fn func(set, way int, b Block)) {
 func (c *Cache) OwnedWays(set, owner int) uint64 {
 	var mask uint64
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		b := &c.sets[base+w]
-		if b.Valid && b.Owner == owner {
+	for m := c.valid[set]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m)
+		if int(c.owners[base+w]) == owner {
 			mask |= 1 << uint(w)
 		}
 	}
@@ -365,7 +421,7 @@ func (c *Cache) Access(line LineAddr, owner int, isWrite bool) (Evicted, bool) {
 	set := c.Index(line)
 	tag := c.TagOf(line)
 	c.stats.Accesses++
-	if way, hit := c.Probe(set, tag, c.AllMask()); hit {
+	if way, hit := c.Probe(set, tag, c.allMask); hit {
 		c.stats.Hits++
 		c.Touch(set, way)
 		if isWrite {
@@ -374,7 +430,7 @@ func (c *Cache) Access(line LineAddr, owner int, isWrite bool) (Evicted, bool) {
 		return Evicted{}, true
 	}
 	c.stats.Misses++
-	victim := c.Victim(set, c.AllMask())
+	victim := c.Victim(set, c.allMask)
 	ev := c.InstallAt(set, victim, tag, owner, isWrite)
 	return ev, false
 }
@@ -412,4 +468,4 @@ func (s *Stats) Reset() { *s = Stats{} }
 // Schemes that manage the replacement stack directly (PIPP's insertion
 // position and single-step promotion) use it; plain-LRU schemes never
 // need to.
-func (c *Cache) SetLRU(set, way int, lru uint64) { c.blockAt(set, way).LRU = lru }
+func (c *Cache) SetLRU(set, way int, lru uint64) { c.lru[set*c.ways+way] = lru }

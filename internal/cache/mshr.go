@@ -8,10 +8,23 @@ package cache
 // The simulator is cycle-batched rather than event-driven, so the MSHR
 // file tracks entries by their completion time and retires them lazily
 // whenever the current time is consulted.
+//
+// Entries live in a small unordered slice rather than a map: the file
+// holds at most a few dozen registers and is consulted on every L1
+// miss, so the linear scans are cheaper than map hashing and — unlike
+// Go map iteration — walk in a deterministic order, making the
+// earliest-completion victim choice reproducible even between tied
+// completion times.
 type MSHRFile struct {
 	capacity int
-	entries  map[LineAddr]int64 // line -> completion time
+	entries  []mshrEntry // live entries, unordered
 	stats    MSHRStats
+}
+
+// mshrEntry is one outstanding miss.
+type mshrEntry struct {
+	line LineAddr
+	done int64 // completion time
 }
 
 // MSHRStats counts MSHR file events.
@@ -28,7 +41,7 @@ func NewMSHRFile(capacity int) *MSHRFile {
 	}
 	return &MSHRFile{
 		capacity: capacity,
-		entries:  make(map[LineAddr]int64, capacity),
+		entries:  make([]mshrEntry, 0, capacity+1),
 	}
 }
 
@@ -40,9 +53,13 @@ func (m *MSHRFile) Stats() MSHRStats { return m.stats }
 
 // retire drops entries whose completion time has passed.
 func (m *MSHRFile) retire(now int64) {
-	for line, done := range m.entries {
-		if done <= now {
-			delete(m.entries, line)
+	for i := 0; i < len(m.entries); {
+		if m.entries[i].done <= now {
+			last := len(m.entries) - 1
+			m.entries[i] = m.entries[last]
+			m.entries = m.entries[:last]
+		} else {
+			i++
 		}
 	}
 }
@@ -59,36 +76,38 @@ func (m *MSHRFile) Occupancy(now int64) int {
 // entry retires) and whether the miss coalesced with an existing entry.
 func (m *MSHRFile) Allocate(line LineAddr, now, done int64) (start int64, coalesced bool) {
 	m.retire(now)
-	if existing, ok := m.entries[line]; ok {
-		m.stats.Coalesced++
-		if existing > done {
-			done = existing
+	for i := range m.entries {
+		if m.entries[i].line == line {
+			m.stats.Coalesced++
+			if m.entries[i].done < done {
+				m.entries[i].done = done
+			}
+			return now, true
 		}
-		m.entries[line] = done
-		return now, true
 	}
 	start = now
 	if len(m.entries) >= m.capacity {
 		m.stats.FullStalls++
-		earliest := int64(1<<62 - 1)
-		var victim LineAddr
-		for l, d := range m.entries {
-			if d < earliest {
-				earliest, victim = d, l
+		earliest, victim := int64(1<<62-1), 0
+		for i := range m.entries {
+			if m.entries[i].done < earliest {
+				earliest, victim = m.entries[i].done, i
 			}
 		}
-		delete(m.entries, victim)
+		last := len(m.entries) - 1
+		m.entries[victim] = m.entries[last]
+		m.entries = m.entries[:last]
 		if earliest > start {
 			start = earliest
 		}
 	}
 	m.stats.Allocations++
-	m.entries[line] = done
+	m.entries = append(m.entries, mshrEntry{line: line, done: done})
 	return start, false
 }
 
 // Reset clears all entries and counters.
 func (m *MSHRFile) Reset() {
-	m.entries = make(map[LineAddr]int64, m.capacity)
+	m.entries = m.entries[:0]
 	m.stats = MSHRStats{}
 }

@@ -6,6 +6,7 @@ package cache
 // pins the substrate every scheme is built on.
 
 import (
+	"math/bits"
 	"math/rand"
 	"testing"
 )
@@ -130,3 +131,277 @@ func (m *miniATD) Access(set int, tag uint64) {
 }
 
 func (m *miniATD) HitsUpTo(int) uint64 { return m.hits }
+
+// ---- SoA vs AoS differential test ----
+//
+// aosCache retains the pre-refactor array-of-structs implementation as
+// an executable reference model: a []Block walked linearly, exactly the
+// layout the struct-of-arrays Cache replaced. Driving both with the
+// same randomized operation stream (masked and full-mask probes,
+// victims, installs, flushes, invalidations, owner/LRU rewrites) and
+// demanding identical hit/victim/eviction streams pins the refactor's
+// bit-for-bit equivalence.
+
+type aosCache struct {
+	blocks  []Block // numSets * ways, row-major
+	numSets int
+	ways    int
+	clock   uint64
+}
+
+func newAOS(numSets, ways int) *aosCache {
+	a := &aosCache{
+		blocks:  make([]Block, numSets*ways),
+		numSets: numSets,
+		ways:    ways,
+	}
+	for i := range a.blocks {
+		a.blocks[i].Owner = NoOwner
+	}
+	return a
+}
+
+func (a *aosCache) at(set, way int) *Block { return &a.blocks[set*a.ways+way] }
+
+func (a *aosCache) probe(set int, tag, mask uint64) (int, bool) {
+	for m := mask; m != 0; m &= m - 1 {
+		w := trailingZeros(m)
+		b := a.at(set, w)
+		if b.Valid && b.Tag == tag {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+func (a *aosCache) victim(set int, mask uint64) int {
+	best, bestLRU := -1, ^uint64(0)
+	for m := mask; m != 0; m &= m - 1 {
+		w := trailingZeros(m)
+		b := a.at(set, w)
+		if !b.Valid {
+			return w
+		}
+		if b.LRU < bestLRU {
+			best, bestLRU = w, b.LRU
+		}
+	}
+	return best
+}
+
+func (a *aosCache) victimOwnedBy(set, owner int, mask uint64) int {
+	best, bestLRU := -1, ^uint64(0)
+	for m := mask; m != 0; m &= m - 1 {
+		w := trailingZeros(m)
+		b := a.at(set, w)
+		if !b.Valid || b.Owner != owner {
+			continue
+		}
+		if b.LRU < bestLRU {
+			best, bestLRU = w, b.LRU
+		}
+	}
+	return best
+}
+
+func (a *aosCache) countOwned(set, owner int, mask uint64) int {
+	n := 0
+	for m := mask; m != 0; m &= m - 1 {
+		b := a.at(set, trailingZeros(m))
+		if b.Valid && b.Owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+func (a *aosCache) ownedWays(set, owner int) uint64 {
+	var mask uint64
+	for w := 0; w < a.ways; w++ {
+		b := a.at(set, w)
+		if b.Valid && b.Owner == owner {
+			mask |= 1 << uint(w)
+		}
+	}
+	return mask
+}
+
+func (a *aosCache) installAt(set, way int, tag uint64, owner int, dirty bool) Evicted {
+	b := a.at(set, way)
+	ev := Evicted{Valid: b.Valid, Dirty: b.Dirty, Owner: b.Owner}
+	if b.Valid {
+		ev.Line = b.Tag<<uint(log2i(a.numSets)) | uint64(set)
+	}
+	a.clock++
+	*b = Block{Tag: tag, Valid: true, Dirty: dirty, Owner: owner, LRU: a.clock}
+	return ev
+}
+
+func (a *aosCache) flushBlock(set, way int) (uint64, bool) {
+	b := a.at(set, way)
+	if !b.Valid || !b.Dirty {
+		return 0, false
+	}
+	b.Dirty = false
+	return b.Tag<<uint(log2i(a.numSets)) | uint64(set), true
+}
+
+func (a *aosCache) invalidateBlock(set, way int) Evicted {
+	b := a.at(set, way)
+	ev := Evicted{Valid: b.Valid, Dirty: b.Dirty, Owner: b.Owner}
+	if b.Valid {
+		ev.Line = b.Tag<<uint(log2i(a.numSets)) | uint64(set)
+	}
+	*b = Block{Owner: NoOwner}
+	return ev
+}
+
+func (a *aosCache) invalidateWay(way int) (wbs []uint64) {
+	for s := 0; s < a.numSets; s++ {
+		b := a.at(s, way)
+		if b.Valid && b.Dirty {
+			wbs = append(wbs, b.Tag<<uint(log2i(a.numSets))|uint64(s))
+		}
+		*b = Block{Owner: NoOwner}
+	}
+	return wbs
+}
+
+func trailingZeros(m uint64) int { return bits.TrailingZeros64(m) }
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// TestDifferentialSoAvsAoS drives the SoA cache and the AoS reference
+// with an identical randomized operation stream and requires identical
+// observable behaviour at every step: hit ways, victim choices,
+// eviction metadata, flush/invalidate outcomes and per-way state.
+func TestDifferentialSoAvsAoS(t *testing.T) {
+	for _, geom := range []struct{ sets, ways int }{
+		{4, 2}, {16, 4}, {32, 8}, {8, 16},
+	} {
+		c := New(Config{
+			Name:      "diff",
+			SizeBytes: geom.sets * geom.ways * 64,
+			LineBytes: 64,
+			Ways:      geom.ways,
+			Latency:   1,
+		})
+		a := newAOS(geom.sets, geom.ways)
+		rng := rand.New(rand.NewSource(int64(geom.sets*1000 + geom.ways)))
+		full := c.AllMask()
+		randMask := func() uint64 {
+			if rng.Intn(3) == 0 {
+				return full // full-mask fast path
+			}
+			return rng.Uint64() & full
+		}
+		const ops = 60000
+		for i := 0; i < ops; i++ {
+			set := rng.Intn(geom.sets)
+			way := rng.Intn(geom.ways)
+			tag := uint64(rng.Intn(64))
+			owner := rng.Intn(4)
+			mask := randMask()
+			fail := func(op string, got, want any) {
+				t.Fatalf("geom %dx%d op %d (%s): SoA %v != AoS %v",
+					geom.sets, geom.ways, i, op, got, want)
+			}
+			switch rng.Intn(10) {
+			case 0, 1: // masked probe (+touch on hit, like a scheme access)
+				gw, gh := c.Probe(set, tag, mask)
+				ww, wh := a.probe(set, tag, mask)
+				if gw != ww || gh != wh {
+					fail("probe", []any{gw, gh}, []any{ww, wh})
+				}
+				if gh {
+					c.Touch(set, gw)
+					a.clock++
+					a.at(set, gw).LRU = a.clock
+				}
+			case 2, 3: // victim + install (the miss-fill path)
+				gv := c.Victim(set, mask)
+				wv := a.victim(set, mask)
+				if gv != wv {
+					fail("victim", gv, wv)
+				}
+				if gv >= 0 {
+					dirty := rng.Intn(3) == 0
+					gev := c.InstallAt(set, gv, tag, owner, dirty)
+					wev := a.installAt(set, gv, tag, owner, dirty)
+					if gev != wev {
+						fail("install-evicted", gev, wev)
+					}
+				}
+			case 4: // mark dirty / rewrite owner on a specific way
+				if rng.Intn(2) == 0 {
+					if c.Block(set, way).Valid {
+						c.MarkDirty(set, way)
+						a.at(set, way).Dirty = true
+					}
+				} else {
+					c.SetOwner(set, way, owner)
+					a.at(set, way).Owner = owner
+				}
+			case 5: // flush
+				gl, gwb := c.FlushBlock(set, way)
+				wl, wwb := a.flushBlock(set, way)
+				if gl != wl || gwb != wwb {
+					fail("flush", []any{gl, gwb}, []any{wl, wwb})
+				}
+			case 6: // invalidate block
+				gev := c.InvalidateBlock(set, way)
+				wev := a.invalidateBlock(set, way)
+				if gev != wev {
+					fail("invalidate-evicted", gev, wev)
+				}
+			case 7: // owner scans
+				if got, want := c.OwnedWays(set, owner), a.ownedWays(set, owner); got != want {
+					fail("owned-ways", got, want)
+				}
+				if got, want := c.CountOwned(set, owner, mask), a.countOwned(set, owner, mask); got != want {
+					fail("count-owned", got, want)
+				}
+				if got, want := c.VictimOwnedBy(set, owner, mask), a.victimOwnedBy(set, owner, mask); got != want {
+					fail("victim-owned-by", got, want)
+				}
+			case 8: // SetLRU (PIPP's stack manipulation)
+				lru := uint64(rng.Intn(1000))
+				c.SetLRU(set, way, lru)
+				a.at(set, way).LRU = lru
+			case 9: // way power-off, rarely (it clears a lot of state)
+				if rng.Intn(20) == 0 {
+					var gwbs []uint64
+					c.InvalidateWay(way, func(l LineAddr) { gwbs = append(gwbs, l) })
+					wwbs := a.invalidateWay(way)
+					if len(gwbs) != len(wwbs) {
+						fail("invalidate-way-wbs", gwbs, wwbs)
+					}
+					for k := range gwbs {
+						if gwbs[k] != wwbs[k] {
+							fail("invalidate-way-wbs", gwbs, wwbs)
+						}
+					}
+				}
+			}
+		}
+		// Final sweep: every block's assembled view must match.
+		for s := 0; s < geom.sets; s++ {
+			for w := 0; w < geom.ways; w++ {
+				got, want := c.Block(s, w), *a.at(s, w)
+				if got.Valid != want.Valid || got.Dirty != want.Dirty ||
+					got.Owner != want.Owner || got.LRU != want.LRU ||
+					(got.Valid && got.Tag != want.Tag) {
+					t.Fatalf("geom %dx%d final state (%d,%d): SoA %+v != AoS %+v",
+						geom.sets, geom.ways, s, w, got, want)
+				}
+			}
+		}
+	}
+}

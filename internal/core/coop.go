@@ -145,16 +145,15 @@ func (c *CoopPart) Access(core int, addr uint64, isWrite bool, now int64) partit
 		}
 		tr := c.Transitions()
 		for _, t := range ds.transfers {
-			blk := l2.Block(set, t.way)
-			if !blk.Valid || blk.Owner != d {
+			if !l2.ValidAt(set, t.way) || l2.OwnerAt(set, t.way) != d {
 				continue
 			}
-			if blk.Dirty {
-				if flushed, wb := l2.FlushBlock(set, t.way); wb {
-					c.Writeback(flushed, now)
-					res.Writebacks++
-					tr.RecordFlush(now-ds.start, 1)
-				}
+			// FlushBlock is a no-op (false) on clean blocks, so no
+			// separate dirty check is needed.
+			if flushed, wb := l2.FlushBlock(set, t.way); wb {
+				c.Writeback(flushed, now)
+				res.Writebacks++
+				tr.RecordFlush(now-ds.start, 1)
 			}
 			if t.recipient >= 0 {
 				l2.SetOwner(set, t.way, t.recipient)
@@ -388,7 +387,7 @@ func (c *CoopPart) pickVictim(set int, mask uint64) int {
 	var candidates []int
 	for m := mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
-		if !l2.Block(set, w).Valid {
+		if !l2.ValidAt(set, w) {
 			return w
 		}
 		candidates = append(candidates, w)

@@ -200,8 +200,7 @@ func (c *CPE) flushWays(mask uint64, now int64) {
 	for m := mask; m != 0; m &= m - 1 {
 		w := bits.TrailingZeros64(m)
 		for s := 0; s < c.l2.NumSets(); s++ {
-			blk := c.l2.Block(s, w)
-			if !blk.Valid {
+			if !c.l2.ValidAt(s, w) {
 				continue
 			}
 			ev := c.l2.InvalidateBlock(s, w)

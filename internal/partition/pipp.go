@@ -60,11 +60,11 @@ func (p *PIPP) stackOrder(set int) []int {
 		order = append(order, w)
 	}
 	less := func(a, b int) bool {
-		ba, bb := p.l2.Block(set, a), p.l2.Block(set, b)
-		if ba.Valid != bb.Valid {
-			return !ba.Valid
+		va, vb := p.l2.ValidAt(set, a), p.l2.ValidAt(set, b)
+		if va != vb {
+			return !va
 		}
-		return ba.LRU < bb.LRU
+		return p.l2.LRUAt(set, a) < p.l2.LRUAt(set, b)
 	}
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0 && less(order[j], order[j-1]); j-- {
@@ -122,7 +122,7 @@ func (p *PIPP) promote(set, way int) {
 		if w != way {
 			continue
 		}
-		if i+1 < len(order) && p.l2.Block(set, order[i+1]).Valid {
+		if i+1 < len(order) && p.l2.ValidAt(set, order[i+1]) {
 			p.swapLRU(set, way, order[i+1])
 		}
 		return
@@ -148,7 +148,7 @@ func (p *PIPP) insertAt(set, way, pos int) {
 			return
 		}
 		below := order[cur-1]
-		if !p.l2.Block(set, below).Valid {
+		if !p.l2.ValidAt(set, below) {
 			return // already just above the invalid region
 		}
 		p.swapLRU(set, way, below)
@@ -157,11 +157,9 @@ func (p *PIPP) insertAt(set, way, pos int) {
 
 // swapLRU exchanges the recency stamps of two blocks in a set.
 func (p *PIPP) swapLRU(set, a, b int) {
-	ba, bb := p.l2.Block(set, a), p.l2.Block(set, b)
-	// Reinstall stamps via Touch-free direct manipulation: rewrite
-	// both blocks preserving everything but LRU.
-	p.l2.SetLRU(set, a, bb.LRU)
-	p.l2.SetLRU(set, b, ba.LRU)
+	la, lb := p.l2.LRUAt(set, a), p.l2.LRUAt(set, b)
+	p.l2.SetLRU(set, a, lb)
+	p.l2.SetLRU(set, b, la)
 }
 
 // Decide implements Scheme: recompute quotas by look-ahead.

@@ -24,26 +24,29 @@ type victimEvent struct {
 
 // quotaVictim picks the replacement way in set for core under quotas.
 func (b *Harness) quotaVictim(set, core int, quotas []int) int {
-	mask := b.l2.AllMask()
+	l2 := b.l2
+	mask := l2.AllMask()
 	// Invalid ways first: no one loses data.
-	if w := b.l2.Victim(set, mask); w >= 0 && !b.l2.Block(set, w).Valid {
+	if w := l2.Victim(set, mask); w >= 0 && !l2.ValidAt(set, w) {
 		return w
 	}
-	owned := b.l2.CountOwned(set, core, mask)
+	owned := l2.CountOwned(set, core, mask)
 	if owned < quotas[core] {
 		// Take the LRU block among cores holding more than their quota.
 		best, bestLRU := -1, ^uint64(0)
-		for w := 0; w < b.l2.Ways(); w++ {
-			blk := b.l2.Block(set, w)
-			if !blk.Valid || blk.Owner == core {
+		for w := 0; w < l2.Ways(); w++ {
+			if !l2.ValidAt(set, w) {
 				continue
 			}
-			if blk.Owner >= 0 && blk.Owner < b.n &&
-				b.l2.CountOwned(set, blk.Owner, mask) <= quotas[blk.Owner] {
+			o := l2.OwnerAt(set, w)
+			if o == core {
 				continue
 			}
-			if blk.LRU < bestLRU {
-				best, bestLRU = w, blk.LRU
+			if o >= 0 && o < b.n && l2.CountOwned(set, o, mask) <= quotas[o] {
+				continue
+			}
+			if lru := l2.LRUAt(set, w); lru < bestLRU {
+				best, bestLRU = w, lru
 			}
 		}
 		if best >= 0 {
@@ -51,13 +54,12 @@ func (b *Harness) quotaVictim(set, core int, quotas []int) int {
 		}
 		// No over-quota victim: take any other core's LRU block.
 		best, bestLRU = -1, ^uint64(0)
-		for w := 0; w < b.l2.Ways(); w++ {
-			blk := b.l2.Block(set, w)
-			if !blk.Valid || blk.Owner == core {
+		for w := 0; w < l2.Ways(); w++ {
+			if !l2.ValidAt(set, w) || l2.OwnerAt(set, w) == core {
 				continue
 			}
-			if blk.LRU < bestLRU {
-				best, bestLRU = w, blk.LRU
+			if lru := l2.LRUAt(set, w); lru < bestLRU {
+				best, bestLRU = w, lru
 			}
 		}
 		if best >= 0 {
@@ -97,7 +99,10 @@ func (b *Harness) quotaAccess(core int, addr uint64, isWrite bool, now int64,
 		res.Latency = int64(b.l2.Latency())
 	} else {
 		victim := b.quotaVictim(set, core, quotas)
-		prev := b.l2.Block(set, victim)
+		prevOwn := cache.NoOwner
+		if b.l2.ValidAt(set, victim) {
+			prevOwn = b.l2.OwnerAt(set, victim)
+		}
 		ev := b.l2.InstallAt(set, victim, tag, core, isWrite)
 		if ev.Valid && ev.Dirty {
 			b.writeback(ev.Line, now)
@@ -106,7 +111,7 @@ func (b *Harness) quotaAccess(core int, addr uint64, isWrite bool, now int64,
 		if onVictim != nil {
 			onVictim(victimEvent{
 				set: set, victimWay: victim,
-				owner: prevOwner(prev), dirty: ev.Valid && ev.Dirty, valid: ev.Valid,
+				owner: prevOwn, dirty: ev.Valid && ev.Dirty, valid: ev.Valid,
 			})
 		}
 		res.Latency = int64(b.l2.Latency()) + b.fill(line, now+int64(b.l2.Latency()))
@@ -121,11 +126,4 @@ func (b *Harness) quotaAccess(core int, addr uint64, isWrite bool, now int64,
 		st.Misses++
 	}
 	return res
-}
-
-func prevOwner(blk cache.Block) int {
-	if !blk.Valid {
-		return cache.NoOwner
-	}
-	return blk.Owner
 }

@@ -1,0 +1,74 @@
+package umon
+
+import "testing"
+
+// BenchmarkUMONAccess measures the ATD stack search + shift that every
+// monitored LLC access pays — the other per-access walk next to the
+// cache substrate's Probe/Victim (internal/cache/bench_test.go).
+
+func benchMonitor(sampling int) *Monitor {
+	m := New(Config{Sets: 128, Ways: 16, Sampling: sampling})
+	// Warm every sampled row so searches walk full stacks.
+	for i := 0; i < 128*16*4; i++ {
+		m.Access(i%128, uint64(i%(16*3)))
+	}
+	return m
+}
+
+func BenchmarkUMONAccess(b *testing.B) {
+	m := benchMonitor(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(i&127, uint64(i%48))
+	}
+}
+
+// BenchmarkUMONAccessSampled exercises the power-of-two sampling filter
+// fast path: 31 of 32 accesses are rejected by a single AND.
+func BenchmarkUMONAccessSampled(b *testing.B) {
+	m := benchMonitor(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Access(i&127, uint64(i%48))
+	}
+}
+
+// TestUMONAccessAllocationFree pins the zero-allocation property of the
+// per-access monitor path (it runs once per LLC access on monitored
+// schemes).
+func TestUMONAccessAllocationFree(t *testing.T) {
+	m := benchMonitor(1)
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Access(i&127, uint64(i%48))
+		i++
+	}); n != 0 {
+		t.Fatalf("Access allocates %v per access, want 0", n)
+	}
+}
+
+// TestSamplingMaskMatchesModulo drives a pow-2-sampled monitor and a
+// reference monitor whose fast path is defeated (identical geometry,
+// accesses pre-filtered by the modulo) and requires identical counters.
+func TestSamplingMaskMatchesModulo(t *testing.T) {
+	const sets, ways, sampling = 64, 8, 4
+	fast := New(Config{Sets: sets, Ways: ways, Sampling: sampling})
+	ref := New(Config{Sets: sets, Ways: ways, Sampling: sampling})
+	ref.sampleMask = 0 // force the modulo path
+	for i := 0; i < 20000; i++ {
+		set := (i * 7) % sets
+		tag := uint64((i * 13) % 96)
+		fast.Access(set, tag)
+		ref.Access(set, tag)
+	}
+	if fast.Accesses() != ref.Accesses() {
+		t.Fatalf("accesses: mask %d, modulo %d", fast.Accesses(), ref.Accesses())
+	}
+	for w := 0; w <= ways; w++ {
+		if fast.HitsUpTo(w) != ref.HitsUpTo(w) {
+			t.Fatalf("HitsUpTo(%d): mask %d, modulo %d", w, fast.HitsUpTo(w), ref.HitsUpTo(w))
+		}
+	}
+}

@@ -12,7 +12,10 @@
 // ratio is configurable and the counters are scaled accordingly.
 package umon
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one utility monitor.
 type Config struct {
@@ -22,14 +25,26 @@ type Config struct {
 }
 
 // Monitor is the per-core ATD with stack-distance hit counters.
+//
+// Like the cache substrate, the ATD is struct-of-arrays: a dense tags
+// slice plus one validity bitmask word per sampled row (bit i = stack
+// position i; Ways <= 64, matching the cache's way-mask limit). The
+// per-LLC-access stack search then scans only tags gated by one valid
+// word, and the shift-down of the LRU stack moves validity with two
+// bit operations instead of a per-entry bool walk.
 type Monitor struct {
 	cfg      Config
 	tags     []uint64 // sampledSets * ways, ordered most→least recent
-	valid    []bool
+	valid    []uint64 // one word per sampled row
 	sampled  int
 	hits     []uint64 // hits[d] = hits at stack position d (0-based)
 	misses   uint64
 	accesses uint64
+
+	// Sampling test, precomputed: when Sampling is a power of two the
+	// set%Sampling==0 filter on every LLC access is a single AND.
+	sampleMask int // Sampling-1 when a power of two, else 0
+	rowMask    uint64
 }
 
 // New creates a monitor for a cache with the given geometry. It panics
@@ -39,6 +54,9 @@ func New(cfg Config) *Monitor {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("umon: invalid geometry %d sets / %d ways", cfg.Sets, cfg.Ways))
 	}
+	if cfg.Ways > 64 {
+		panic(fmt.Sprintf("umon: %d ways exceed the 64-way mask limit", cfg.Ways))
+	}
 	if cfg.Sampling <= 0 {
 		cfg.Sampling = 1
 	}
@@ -46,13 +64,22 @@ func New(cfg Config) *Monitor {
 	if sampled == 0 {
 		sampled = 1
 	}
-	return &Monitor{
+	m := &Monitor{
 		cfg:     cfg,
 		tags:    make([]uint64, sampled*cfg.Ways),
-		valid:   make([]bool, sampled*cfg.Ways),
+		valid:   make([]uint64, sampled),
 		sampled: sampled,
 		hits:    make([]uint64, cfg.Ways),
 	}
+	if cfg.Ways == 64 {
+		m.rowMask = ^uint64(0)
+	} else {
+		m.rowMask = (uint64(1) << uint(cfg.Ways)) - 1
+	}
+	if cfg.Sampling&(cfg.Sampling-1) == 0 {
+		m.sampleMask = cfg.Sampling - 1
+	}
+	return m
 }
 
 // Config returns the monitor configuration.
@@ -65,7 +92,11 @@ func (m *Monitor) SampledSets() int { return m.sampled }
 // index in the real cache; tag is the line's tag. Accesses to
 // non-sampled sets are ignored.
 func (m *Monitor) Access(set int, tag uint64) {
-	if set%m.cfg.Sampling != 0 {
+	if m.sampleMask != 0 {
+		if set&m.sampleMask != 0 {
+			return
+		}
+	} else if m.cfg.Sampling > 1 && set%m.cfg.Sampling != 0 {
 		return
 	}
 	row := (set / m.cfg.Sampling) % m.sampled
@@ -73,31 +104,32 @@ func (m *Monitor) Access(set int, tag uint64) {
 	ways := m.cfg.Ways
 	m.accesses++
 
-	// Search the LRU stack for the tag.
+	// Search the LRU stack for the tag: only valid positions are
+	// visited, gated by the row's validity word.
+	vw := m.valid[row]
+	tags := m.tags[base : base+ways]
 	pos := -1
-	for i := 0; i < ways; i++ {
-		if m.valid[base+i] && m.tags[base+i] == tag {
+	for w := vw; w != 0; w &= w - 1 {
+		i := bits.TrailingZeros64(w)
+		if tags[i] == tag {
 			pos = i
 			break
 		}
 	}
 	if pos >= 0 {
 		m.hits[pos]++
-		// Move to MRU position.
-		for i := pos; i > 0; i-- {
-			m.tags[base+i] = m.tags[base+i-1]
-			m.valid[base+i] = m.valid[base+i-1]
-		}
+		// Move to MRU: positions 1..pos take over 0..pos-1; validity
+		// below the hit shifts with them (position 0 becomes valid).
+		copy(tags[1:pos+1], tags[:pos])
+		low := uint64(1)<<uint(pos+1) - 1
+		m.valid[row] = (vw &^ low) | ((vw<<1 | 1) & low)
 	} else {
 		m.misses++
 		// Shift everything down, dropping the LRU entry.
-		for i := ways - 1; i > 0; i-- {
-			m.tags[base+i] = m.tags[base+i-1]
-			m.valid[base+i] = m.valid[base+i-1]
-		}
+		copy(tags[1:], tags[:ways-1])
+		m.valid[row] = (vw<<1 | 1) & m.rowMask
 	}
-	m.tags[base] = tag
-	m.valid[base] = true
+	tags[0] = tag
 }
 
 // Accesses returns the number of monitored accesses since the last
@@ -150,7 +182,7 @@ func (m *Monitor) Decay() {
 // Reset zeroes counters and invalidates the ATD.
 func (m *Monitor) Reset() {
 	for i := range m.valid {
-		m.valid[i] = false
+		m.valid[i] = 0
 	}
 	for i := range m.hits {
 		m.hits[i] = 0
