@@ -256,3 +256,18 @@ func BenchmarkHeadroom(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkScalingSweep regenerates the many-core scaling sweep
+// (DESIGN.md §9) end to end: one group per core count at 2/4/8/16
+// cores, every scheme, weighted speedup and energy.
+func BenchmarkScalingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := newRunner().ScalingSweep(nil, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 2 {
+			b.Fatal("scaling sweep returned no figures")
+		}
+	}
+}

@@ -1,21 +1,28 @@
 // Command figures regenerates Figures 5-16 of the paper's evaluation as
-// plain-text tables or CSV.
+// plain-text tables or CSV, plus the many-core scaling sweep that goes
+// beyond the paper's 2/4-core evaluation.
 //
 // Usage:
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
+//	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
 //
 // Without -fig, every data figure (5-16) is printed. Figures 1-4 are
 // schematics with no data series; the takeover mechanics they
-// illustrate are demonstrated by examples/takeover.
+// illustrate are demonstrated by examples/takeover. With -sweep=scaling
+// the scaling figures (weighted speedup and total energy vs core
+// count) are printed instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -27,6 +34,9 @@ func main() {
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
 		"Cooperative Partitioning takeover threshold T")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	sweep := flag.String("sweep", "", `sweep to run instead of figures ("scaling")`)
+	sweepCores := flag.String("sweep-cores", "", "comma-separated core counts for -sweep=scaling (default 2,4,8,16)")
+	sweepGroups := flag.Int("sweep-groups", 0, "groups per core count in the sweep (0 = all)")
 	flag.Parse()
 
 	sc, err := scaleByName(*scale)
@@ -36,6 +46,27 @@ func main() {
 	r := experiments.NewRunner(experiments.Config{
 		Scale: sc, Seed: *seed, Threshold: *threshold, Workers: *workers,
 	})
+
+	if *sweep != "" {
+		if *sweep != "scaling" {
+			fatal(fmt.Errorf("unknown sweep %q (scaling)", *sweep))
+		}
+		counts, err := parseCores(*sweepCores)
+		if err != nil {
+			fatal(err)
+		}
+		figs, err := r.ScalingSweep(counts, *sweepGroups)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range figs {
+			if err := writeFigure(f, *csv); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
 
 	figs := []int{*fig}
 	if *fig == 0 {
@@ -49,16 +80,34 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if *csv {
-			err = f.WriteCSV(os.Stdout)
-		} else {
-			err = f.WriteTable(os.Stdout)
-		}
-		if err != nil {
+		if err := writeFigure(f, *csv); err != nil {
 			fatal(err)
 		}
 		fmt.Println()
 	}
+}
+
+func writeFigure(f metrics.Figure, csv bool) error {
+	if csv {
+		return f.WriteCSV(os.Stdout)
+	}
+	return f.WriteTable(os.Stdout)
+}
+
+// parseCores parses a comma-separated core-count list ("" = default).
+func parseCores(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q: %v", part, err)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func scaleByName(name string) (sim.Scale, error) {

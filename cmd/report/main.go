@@ -97,6 +97,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "report: %s done\n", fig.ID)
 	}
 
+	// Many-core scaling sweep (beyond the paper's 2/4-core evaluation):
+	// two representative groups per core count keep the report
+	// tractable; cmd/figures -sweep=scaling runs the full group lists.
+	fmt.Fprintf(md, "## Scaling sweep\n\n")
+	sweepFigs, err := r.ScalingSweep(nil, 2)
+	if err != nil {
+		fatal(err)
+	}
+	for _, fig := range sweepFigs {
+		writeFigure(md, *out, fig)
+		fmt.Fprintf(os.Stderr, "report: %s done\n", fig.ID)
+	}
+
 	hr, err := r.Headroom()
 	if err != nil {
 		fatal(err)

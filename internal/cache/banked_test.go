@@ -1,0 +1,200 @@
+package cache
+
+// Banked substrate tests: banking only regroups storage, so a cache
+// with any bank count must behave bit-identically to the monolithic
+// (Banks=1) cache — which the SoA-vs-AoS differential test in
+// oracle_test.go in turn pins against the original array-of-structs
+// layout. The contention model (AcquireBank) is the only banked
+// behaviour that may differ, and only when BankBusyCycles > 0.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDifferentialBankedVsMonolithic drives a monolithic cache and
+// banked caches (B = 2, 4, 8) with one identical randomized operation
+// stream and requires identical observable behaviour at every step.
+func TestDifferentialBankedVsMonolithic(t *testing.T) {
+	for _, geom := range []struct{ sets, ways int }{
+		{16, 4}, {32, 8}, {8, 16}, {64, 2},
+	} {
+		for _, banks := range []int{2, 4, 8} {
+			if banks > geom.sets {
+				continue
+			}
+			mkCfg := func(b int) Config {
+				return Config{
+					Name:      "banked-diff",
+					SizeBytes: geom.sets * geom.ways * 64,
+					LineBytes: 64,
+					Ways:      geom.ways,
+					Latency:   1,
+					Banks:     b,
+				}
+			}
+			mono := New(mkCfg(1))
+			bkd := New(mkCfg(banks))
+			if bkd.Banks() != banks {
+				t.Fatalf("Banks() = %d, want %d", bkd.Banks(), banks)
+			}
+			rng := rand.New(rand.NewSource(int64(geom.sets*977 + geom.ways*31 + banks)))
+			full := mono.AllMask()
+			const ops = 40000
+			for i := 0; i < ops; i++ {
+				set := rng.Intn(geom.sets)
+				way := rng.Intn(geom.ways)
+				tag := uint64(rng.Intn(64))
+				owner := rng.Intn(4)
+				mask := rng.Uint64() & full
+				if rng.Intn(3) == 0 {
+					mask = full
+				}
+				fail := func(op string, got, want any) {
+					t.Fatalf("geom %dx%d banks %d op %d (%s): banked %v != monolithic %v",
+						geom.sets, geom.ways, banks, i, op, got, want)
+				}
+				switch rng.Intn(8) {
+				case 0, 1:
+					gw, gh := bkd.Probe(set, tag, mask)
+					ww, wh := mono.Probe(set, tag, mask)
+					if gw != ww || gh != wh {
+						fail("probe", []any{gw, gh}, []any{ww, wh})
+					}
+					if gh {
+						bkd.Touch(set, gw)
+						mono.Touch(set, gw)
+					}
+				case 2, 3:
+					gv := bkd.Victim(set, mask)
+					wv := mono.Victim(set, mask)
+					if gv != wv {
+						fail("victim", gv, wv)
+					}
+					if gv >= 0 {
+						dirty := rng.Intn(3) == 0
+						gev := bkd.InstallAt(set, gv, tag, owner, dirty)
+						wev := mono.InstallAt(set, gv, tag, owner, dirty)
+						if gev != wev {
+							fail("install-evicted", gev, wev)
+						}
+					}
+				case 4:
+					gl, gwb := bkd.FlushBlock(set, way)
+					wl, wwb := mono.FlushBlock(set, way)
+					if gl != wl || gwb != wwb {
+						fail("flush", []any{gl, gwb}, []any{wl, wwb})
+					}
+				case 5:
+					gev := bkd.InvalidateBlock(set, way)
+					wev := mono.InvalidateBlock(set, way)
+					if gev != wev {
+						fail("invalidate-evicted", gev, wev)
+					}
+				case 6:
+					if got, want := bkd.OwnedWays(set, owner), mono.OwnedWays(set, owner); got != want {
+						fail("owned-ways", got, want)
+					}
+					if got, want := bkd.CountOwned(set, owner, mask), mono.CountOwned(set, owner, mask); got != want {
+						fail("count-owned", got, want)
+					}
+					if got, want := bkd.VictimOwnedBy(set, owner, mask), mono.VictimOwnedBy(set, owner, mask); got != want {
+						fail("victim-owned-by", got, want)
+					}
+				case 7:
+					line := LineAddr(rng.Intn(geom.sets * geom.ways * 4))
+					isWrite := rng.Intn(4) == 0
+					gev, gh := bkd.Access(line, owner, isWrite)
+					wev, wh := mono.Access(line, owner, isWrite)
+					if gev != wev || gh != wh {
+						fail("access", []any{gev, gh}, []any{wev, wh})
+					}
+				}
+			}
+			// Final sweep: every assembled block view must match, and the
+			// event counters (which the energy model consumes) as well.
+			for s := 0; s < geom.sets; s++ {
+				for w := 0; w < geom.ways; w++ {
+					if got, want := bkd.Block(s, w), mono.Block(s, w); got != want {
+						t.Fatalf("geom %dx%d banks %d final state (%d,%d): banked %+v != monolithic %+v",
+							geom.sets, geom.ways, banks, s, w, got, want)
+					}
+				}
+			}
+			if got, want := *bkd.Stats(), *mono.Stats(); got != want {
+				t.Fatalf("geom %dx%d banks %d: stats diverged: banked %+v != monolithic %+v",
+					geom.sets, geom.ways, banks, got, want)
+			}
+		}
+	}
+}
+
+// TestAcquireBankContention pins the bank-port contention model:
+// back-to-back accesses to one bank queue behind its port, accesses to
+// different banks proceed in parallel, and BankBusyCycles == 0 keeps
+// the pre-banking unlimited-throughput behaviour.
+func TestAcquireBankContention(t *testing.T) {
+	cfg := Config{
+		Name: "contended", SizeBytes: 16 * 4 * 64, LineBytes: 64,
+		Ways: 4, Latency: 10, Banks: 4, BankBusyCycles: 6,
+	}
+	c := New(cfg)
+	// Sets 0 and 4 share bank 0 (address-interleaved low set bits);
+	// set 1 lives in bank 1.
+	if c.BankOf(0) != c.BankOf(4) || c.BankOf(0) == c.BankOf(1) {
+		t.Fatalf("bank routing: BankOf(0)=%d BankOf(4)=%d BankOf(1)=%d",
+			c.BankOf(0), c.BankOf(4), c.BankOf(1))
+	}
+	if d := c.AcquireBank(0, 100); d != 0 {
+		t.Fatalf("first access delayed %d", d)
+	}
+	if d := c.AcquireBank(4, 100); d != 6 {
+		t.Fatalf("same-bank access delayed %d, want 6", d)
+	}
+	if d := c.AcquireBank(1, 100); d != 0 {
+		t.Fatalf("other-bank access delayed %d, want 0", d)
+	}
+	if d := c.AcquireBank(0, 200); d != 0 {
+		t.Fatalf("idle-bank access delayed %d, want 0", d)
+	}
+	if got := c.Stats().BankConflicts; got != 1 {
+		t.Fatalf("BankConflicts = %d, want 1", got)
+	}
+
+	// Zero busy cycles: contention is never modelled, whatever the
+	// bank count — the pre-banking behaviour.
+	cfg.BankBusyCycles = 0
+	un := New(cfg)
+	for i := 0; i < 10; i++ {
+		if d := un.AcquireBank(0, 5); d != 0 {
+			t.Fatalf("unmodelled bank delayed %d", d)
+		}
+	}
+	if un.Stats().BankConflicts != 0 {
+		t.Fatalf("unmodelled BankConflicts = %d", un.Stats().BankConflicts)
+	}
+}
+
+// TestConfigValidateBanks pins the banked-geometry validation.
+func TestConfigValidateBanks(t *testing.T) {
+	base := Config{Name: "v", SizeBytes: 16 * 4 * 64, LineBytes: 64, Ways: 4, Latency: 1}
+	for _, tc := range []struct {
+		banks, busy int
+		ok          bool
+	}{
+		{0, 0, true}, {1, 0, true}, {2, 0, true}, {16, 0, true},
+		{3, 0, false},  // not a power of two
+		{32, 0, false}, // more banks than sets
+		{2, -1, false}, // negative busy window
+		{4, 8, true},
+	} {
+		cfg := base
+		cfg.Banks = tc.banks
+		cfg.BankBusyCycles = tc.busy
+		err := cfg.Validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("Banks=%d BankBusyCycles=%d: err=%v, want ok=%v",
+				tc.banks, tc.busy, err, tc.ok)
+		}
+	}
+}

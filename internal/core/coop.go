@@ -22,7 +22,7 @@ import (
 // fills, the donor's read permission is withdrawn and the transfer is
 // complete.
 type CoopPart struct {
-	partition.Harness
+	partition.Controller
 	mons   []*umon.Monitor
 	perms  *PermRegs
 	owner  []int // per way: owning core, -1 = powered off
@@ -37,9 +37,14 @@ type CoopPart struct {
 }
 
 // New builds the scheme. The threshold T and the per-core way guarantee
-// come from cfg (Threshold, MinAllocWays).
+// come from cfg (Threshold, MinAllocWays). With more cores than ways
+// (permitted only under cfg.SharedWays) the scheme starts in the
+// shared-way fallback: the cores are laid around the takeover ring and
+// each ring-contiguous cluster fully co-owns one way; the partition is
+// then pinned (way migration needs a settled sole owner) but every core
+// keeps LLC access and the permission machinery stays live.
 func New(cfg partition.Config) *CoopPart {
-	c := &CoopPart{Harness: partition.NewHarness(cfg)}
+	c := &CoopPart{Controller: partition.NewController(cfg)}
 	l2 := c.Cache()
 	n := c.NumCores()
 	c.mons = c.NewMonitors()
@@ -52,17 +57,28 @@ func New(cfg partition.Config) *CoopPart {
 	}
 	c.rng = 0x9e3779b97f4a7c15
 
-	// Initial partition: contiguous fair shares, fully owned.
-	share := l2.Ways() / n
-	extra := l2.Ways() % n
-	way := 0
-	for i := 0; i < n; i++ {
-		w := share
-		if i < extra {
-			w++
+	if c.SharedMode() {
+		c.perms.AllowSharedWays()
+		for way := range c.owner {
+			c.owner[way] = -1
 		}
-		c.alloc[i] = w
-		for k := 0; k < w; k++ {
+		for i := 0; i < n; i++ {
+			way := c.SharedClusterWay(i)
+			c.alloc[i] = 1
+			if c.owner[way] < 0 {
+				c.owner[way] = i // cluster representative
+			}
+			c.perms.SetRead(way, i, true)
+			c.perms.SetWrite(way, i, true)
+		}
+		return c
+	}
+
+	// Initial partition: contiguous fair shares, fully owned.
+	way := 0
+	for i, share := range c.EqualShares() {
+		c.alloc[i] = share
+		for k := 0; k < share; k++ {
 			c.owner[way] = i
 			c.perms.SetRead(way, i, true)
 			c.perms.SetWrite(way, i, true)
@@ -183,7 +199,7 @@ func (c *CoopPart) Access(core int, addr uint64, isWrite bool, now int64) partit
 	}
 
 	c.lastNow = now
-	lat := int64(l2.Latency())
+	lat := int64(l2.Latency()) + l2.AcquireBank(set, now)
 	if hit {
 		l2.Touch(set, way)
 		res.Latency = lat + c.wakeWay(way, now)
@@ -285,21 +301,23 @@ func (c *CoopPart) startDonation(d int, t transfer, now int64) {
 
 // Decide implements partition.Scheme: Algorithm 1 picks the new
 // allocation from the utility monitors, then Algorithm 2 programs the
-// RAP/WAP registers to start the cooperative takeovers.
+// RAP/WAP registers to start the cooperative takeovers. In the
+// shared-way fallback the ring is saturated — every way is co-owned by
+// its cluster, so there is no settled sole owner to migrate from and
+// nothing to gate — and the partition stays pinned; only the monitors
+// age.
 func (c *CoopPart) Decide(now int64) {
 	st := c.Stats()
 	st.Decisions++
+	if c.SharedMode() {
+		c.DecayMonitors(c.mons)
+		return
+	}
 	l2 := c.Cache()
 	n := c.NumCores()
 
-	curves := make([]umon.Curve, n)
-	for i, m := range c.mons {
-		curves[i] = m.MissCurve()
-	}
-	next := umon.ThresholdLookahead(curves, l2.Ways(), c.Cfg().MinAllocWays, c.Cfg().Threshold)
-	for _, m := range c.mons {
-		m.Decay()
-	}
+	next := umon.ThresholdLookahead(c.MissCurves(c.mons), l2.Ways(), c.Cfg().MinAllocWays, c.Cfg().Threshold)
+	c.DecayMonitors(c.mons)
 
 	// Pre in Algorithm 2: the allocation the registers are already
 	// converging to (writers of each way, including in-flight
@@ -330,22 +348,32 @@ func (c *CoopPart) Decide(now int64) {
 	}
 	st.Repartitions++
 
-	// Donor -> recipient pairing, picking random settled ways.
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			for receive[i] > 0 && donate[j] > 0 {
-				w := c.pickWay(c.settledWays(j))
-				if w < 0 {
-					donate[j] = 0
-					break
-				}
-				c.perms.SetRead(w, i, true)
-				c.perms.SetWrite(w, i, true)
-				c.perms.SetWrite(w, j, false)
-				c.startDonation(j, transfer{way: w, recipient: i}, now)
-				receive[i]--
-				donate[j]--
+	// Donor -> recipient pairing, picking random settled ways: one walk
+	// around the takeover ring, matching recipients (ring order from
+	// core 0) with donors (likewise). Donor budgets only shrink, so the
+	// donor cursor never needs to revisit a core it has passed — a
+	// single O(n) ring pass that reproduces the old pairwise nested
+	// scan exactly (same transfer sequence, same RNG draws) while
+	// scaling to many-core CMPs.
+	j := 0
+	for i := 0; i < n && j < n; i++ {
+		for receive[i] > 0 && j < n {
+			if donate[j] == 0 {
+				j++
+				continue
 			}
+			w := c.pickWay(c.settledWays(j))
+			if w < 0 {
+				donate[j] = 0
+				j++
+				continue
+			}
+			c.perms.SetRead(w, i, true)
+			c.perms.SetWrite(w, i, true)
+			c.perms.SetWrite(w, j, false)
+			c.startDonation(j, transfer{way: w, recipient: i}, now)
+			receive[i]--
+			donate[j]--
 		}
 	}
 

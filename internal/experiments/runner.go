@@ -364,13 +364,18 @@ func (r *Runner) fanOut(tasks []func() error) error {
 	return firstErr
 }
 
-// groupsFor returns the paper's group list for a core count.
+// groupsFor returns the group list for a core count: the paper's
+// Table 4 lists for 2 and 4 cores, the scaling-sweep lists beyond.
 func groupsFor(cores int) ([]workload.Group, error) {
 	switch cores {
 	case 2:
 		return workload.Groups2, nil
 	case 4:
 		return workload.Groups4, nil
+	case 8:
+		return workload.Groups8, nil
+	case 16:
+		return workload.Groups16, nil
 	default:
 		return nil, fmt.Errorf("experiments: no groups for %d cores", cores)
 	}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// scalingRunner builds a fresh runner at the unit-test scale.
+func scalingRunner(workers int) *Runner {
+	return NewRunner(Config{Scale: sim.UnitScale(), Seed: 1, Workers: workers})
+}
+
+// TestScalingSweepManyCoreDeterministic pins the acceptance guarantee:
+// the sweep's 8- and 16-core points are byte-identical at any worker
+// count (the TestScale run of the same property is CI's sweep smoke —
+// cmd/figures -sweep=scaling compared across -workers settings).
+func TestScalingSweepManyCoreDeterministic(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		r := scalingRunner(workers)
+		figs, err := r.ScalingSweep([]int{8, 16}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(figs) != 2 {
+			t.Fatalf("got %d figures, want 2", len(figs))
+		}
+		var buf bytes.Buffer
+		for _, f := range figs {
+			if err := f.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if want == nil {
+			want = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(want, buf.Bytes()) {
+			t.Fatalf("sweep output differs between 1 and %d workers:\n%s\n----\n%s",
+				workers, want, buf.Bytes())
+		}
+	}
+}
+
+// TestScalingSweepShape pins the sweep's structure and normalisation:
+// Fair Share is the baseline, so its series is exactly 1 at every core
+// count, and every scheme appears at every point.
+func TestScalingSweepShape(t *testing.T) {
+	r := scalingRunner(0)
+	figs, err := r.ScalingSweep([]int{2, 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range figs {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+		if len(f.X) != 2 || f.X[0] != "2" || f.X[1] != "8" {
+			t.Fatalf("%s: X = %v", f.ID, f.X)
+		}
+		if len(f.Series) != len(sim.AllSchemes) {
+			t.Fatalf("%s: %d series, want %d", f.ID, len(f.Series), len(sim.AllSchemes))
+		}
+		fair := f.Get("FairShare")
+		if fair == nil {
+			t.Fatalf("%s: no FairShare series", f.ID)
+		}
+		for i, v := range fair {
+			if v != 1 {
+				t.Fatalf("%s: FairShare[%d] = %v, want exactly 1", f.ID, i, v)
+			}
+		}
+		for _, s := range f.Series {
+			for i, v := range s.Values {
+				if v <= 0 {
+					t.Fatalf("%s/%s[%d] = %v, want positive", f.ID, s.Name, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestScalingSweepSharesMemo verifies the sweep flows through the
+// memoising runner: re-running it costs no additional simulations, and
+// a figure over the same groups reuses the sweep's runs.
+func TestScalingSweepSharesMemo(t *testing.T) {
+	r := scalingRunner(0)
+	if _, err := r.ScalingSweep([]int{8}, 1); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Simulations()
+	figs, err := r.ScalingSweep([]int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Simulations(); got != before {
+		t.Fatalf("re-running the sweep executed %d extra simulations", got-before)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+}
+
+// TestScalingSweepUnknownCores rejects core counts with no groups.
+func TestScalingSweepUnknownCores(t *testing.T) {
+	r := scalingRunner(0)
+	if _, err := r.ScalingSweep([]int{3}, 0); err == nil {
+		t.Fatal("ScalingSweep with 3 cores should fail")
+	}
+}
+
+// TestScalingSweepDeterministicResultsEqual runs one 8-core point with
+// different worker counts and compares the figure structs (not just
+// their rendering) for full equality.
+func TestScalingSweepDeterministicResultsEqual(t *testing.T) {
+	a, err := scalingRunner(1).ScalingSweep([]int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scalingRunner(3).ScalingSweep([]int{8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sweep figures differ across worker counts:\n%+v\n----\n%+v", a, b)
+	}
+}

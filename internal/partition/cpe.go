@@ -21,9 +21,14 @@ import (
 // sets). Accesses probe only the core's own ways, so CPE saves dynamic
 // energy like Cooperative Partitioning does, and unassigned
 // ways/set-fractions are power-gated for static savings.
+//
+// Under the shared-way fallback (more cores than ways) private regions
+// are impossible; each core is pinned to the single way its ring
+// cluster shares and the layout stays static.
 type CPE struct {
-	Harness
+	Controller
 	profiles []CoreProfile
+	hooks    accessHooks
 
 	phase    int
 	wayMask  []uint64 // per-core ways
@@ -55,22 +60,28 @@ func (p CoreProfile) phaseAt(i int) ProfilePhase {
 // to core i; missing profiles are treated as empty and the core gets
 // only its guaranteed minimum).
 func NewCPE(cfg Config, profiles []CoreProfile) *CPE {
-	c := &CPE{Harness: NewHarness(cfg)}
+	c := &CPE{Controller: NewController(cfg)}
 	c.profiles = make([]CoreProfile, c.n)
 	copy(c.profiles, profiles)
 	c.wayMask = make([]uint64, c.n)
 	c.setShift = make([]int, c.n)
-	// Initial layout: equal contiguous shares, full sets.
-	share := c.l2.Ways() / c.n
-	extra := c.l2.Ways() % c.n
-	start := 0
-	for i := 0; i < c.n; i++ {
-		w := share
-		if i < extra {
-			w++
+	if c.shared {
+		// Shared-way fallback: core i is pinned to its ring cluster's
+		// way.
+		for i := 0; i < c.n; i++ {
+			c.wayMask[i] = 1 << uint(c.SharedClusterWay(i))
 		}
-		c.wayMask[i] = maskRange(start, w)
-		start += w
+	} else {
+		// Initial layout: equal contiguous shares, full sets.
+		start := 0
+		for i, share := range c.EqualShares() {
+			c.wayMask[i] = maskRange(start, share)
+			start += share
+		}
+	}
+	c.hooks = accessHooks{
+		mask:   func(core int) uint64 { return c.wayMask[core] },
+		mapSet: func(core, set int) int { return set & (c.coreSets(core) - 1) },
 	}
 	return c
 }
@@ -92,54 +103,20 @@ func (c *CPE) coreSets(i int) int { return c.l2.NumSets() >> uint(c.setShift[i])
 
 // Access implements Scheme.
 func (c *CPE) Access(core int, addr uint64, isWrite bool, now int64) Result {
-	line := c.l2.Line(addr)
-	// Fold the global index into the core's set region.
-	set := c.l2.Index(line) & (c.coreSets(core) - 1)
-	tag := c.l2.TagOf(line)
-	mask := c.wayMask[core]
-	res := Result{TagsConsulted: bits.OnesCount64(mask)}
-
-	if mask == 0 {
-		// No region at all (profile assigned nothing): straight to
-		// memory.
-		res.Latency = int64(c.l2.Latency()) + c.fill(line, now+int64(c.l2.Latency()))
-		c.record(core, false, 0)
-		return res
-	}
-
-	if way, hit := c.l2.Probe(set, tag, mask); hit {
-		c.l2.Touch(set, way)
-		if isWrite {
-			c.l2.MarkDirty(set, way)
-		}
-		res.Hit = true
-		res.Latency = int64(c.l2.Latency())
-	} else {
-		victim := c.l2.Victim(set, mask)
-		ev := c.l2.InstallAt(set, victim, tag, core, isWrite)
-		if ev.Valid && ev.Dirty {
-			c.writeback(ev.Line, now)
-			res.Writebacks++
-		}
-		res.Latency = int64(c.l2.Latency()) + c.fill(line, now+int64(c.l2.Latency()))
-	}
-
-	c.record(core, res.Hit, res.TagsConsulted)
-	st := c.l2.Stats()
-	st.Accesses++
-	if res.Hit {
-		st.Hits++
-	} else {
-		st.Misses++
-	}
-	return res
+	return c.access(core, addr, isWrite, now, &c.hooks)
 }
 
 // Decide implements Scheme: look the next phase up in the profiles,
-// recompute the region layout and flush whatever moved.
+// recompute the region layout and flush whatever moved. In shared mode
+// the regions are pinned (ways are shared; reshuffling them would
+// flush other cores' shared data on every phase), so only the phase
+// counter advances.
 func (c *CPE) Decide(now int64) {
 	c.stats.Decisions++
 	defer func() { c.phase++ }()
+	if c.shared {
+		return
+	}
 
 	curves := make([]umon.Curve, c.n)
 	accs := make([]uint64, c.n)
@@ -187,34 +164,22 @@ func (c *CPE) Decide(now int64) {
 		return
 	}
 	c.stats.Repartitions++
-	c.flushWays(flushWays, now)
+	c.FlushWays(flushWays, now)
 	c.wayMask = newMask
 	c.setShift = newShift
 }
 
-// flushWays writes back and invalidates every valid block in the masked
-// ways. This is CPE's synchronous reconfiguration flush: the posted
-// writebacks occupy the memory banks and bus, delaying subsequent
-// misses — the performance cost the paper describes.
-func (c *CPE) flushWays(mask uint64, now int64) {
-	for m := mask; m != 0; m &= m - 1 {
-		w := bits.TrailingZeros64(m)
-		for s := 0; s < c.l2.NumSets(); s++ {
-			if !c.l2.ValidAt(s, w) {
-				continue
-			}
-			ev := c.l2.InvalidateBlock(s, w)
-			if ev.Dirty {
-				c.writeback(ev.Line, now)
-			}
-			c.stats.FlushedOnDecide++
-		}
-	}
-}
-
 // PoweredWayEquiv implements Scheme: allocated ways scaled by each
-// core's set fraction; everything else is gated.
+// core's set fraction; everything else is gated. Shared ways are
+// counted once — the union of the per-core regions is what is powered.
 func (c *CPE) PoweredWayEquiv() float64 {
+	if c.shared {
+		var union uint64
+		for i := 0; i < c.n; i++ {
+			union |= c.wayMask[i]
+		}
+		return float64(bits.OnesCount64(union))
+	}
 	var eq float64
 	for i := 0; i < c.n; i++ {
 		eq += float64(bits.OnesCount64(c.wayMask[i])) / float64(int(1)<<uint(c.setShift[i]))

@@ -6,21 +6,17 @@ package partition
 // consulted on every access and every way stays powered — Fair Share is
 // the normalisation baseline for both energy figures.
 type FairShare struct {
-	Harness
+	Controller
 	quotas []int
+	hooks  accessHooks
 }
 
 // NewFairShare builds the static equal-share scheme.
 func NewFairShare(cfg Config) *FairShare {
-	f := &FairShare{Harness: NewHarness(cfg)}
-	f.quotas = make([]int, f.n)
-	share := f.l2.Ways() / f.n
-	extra := f.l2.Ways() % f.n
-	for i := range f.quotas {
-		f.quotas[i] = share
-		if i < extra {
-			f.quotas[i]++
-		}
+	f := &FairShare{Controller: NewController(cfg)}
+	f.quotas = f.EqualShares()
+	f.hooks = accessHooks{
+		victim: func(set, core int, _ uint64) int { return f.quotaVictim(set, core, f.quotas) },
 	}
 	return f
 }
@@ -30,14 +26,8 @@ func (f *FairShare) Name() string { return "FairShare" }
 
 // Access implements Scheme.
 func (f *FairShare) Access(core int, addr uint64, isWrite bool, now int64) Result {
-	return f.quotaAccess(core, addr, isWrite, now, f.quotas, nil, nil)
+	return f.access(core, addr, isWrite, now, &f.hooks)
 }
-
-// Decide implements Scheme; the partition is fixed.
-func (f *FairShare) Decide(now int64) { f.stats.Decisions++ }
-
-// PoweredWayEquiv implements Scheme: everything stays on.
-func (f *FairShare) PoweredWayEquiv() float64 { return float64(f.l2.Ways()) }
 
 // Allocations implements Scheme.
 func (f *FairShare) Allocations() []int { return append([]int(nil), f.quotas...) }

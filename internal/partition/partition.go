@@ -22,7 +22,6 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mem"
-	"repro/internal/umon"
 )
 
 // Result describes one LLC access for timing and energy accounting.
@@ -192,6 +191,13 @@ type Config struct {
 	// by LRU — the degenerate placement Section 2.5 compares the
 	// way-aligned restriction against.
 	RandomVictim bool
+
+	// SharedWays permits configurations with more cores than LLC ways:
+	// the schemes fall back to sharing ways between ring-adjacent cores
+	// instead of giving each core a private allocation (DESIGN.md §9).
+	// Without it, Cores > Ways is rejected loudly at validation so a
+	// many-core misconfiguration cannot silently degrade.
+	SharedWays bool
 }
 
 // Validate reports configuration errors.
@@ -202,8 +208,12 @@ func (c Config) Validate() error {
 	if c.NumCores <= 0 {
 		return fmt.Errorf("partition: NumCores = %d", c.NumCores)
 	}
-	if c.NumCores > c.Cache.Ways {
-		return fmt.Errorf("partition: %d cores exceed %d ways", c.NumCores, c.Cache.Ways)
+	if c.NumCores > 64 {
+		return fmt.Errorf("partition: %d cores exceed the 64-core mask limit", c.NumCores)
+	}
+	if c.NumCores > c.Cache.Ways && !c.SharedWays {
+		return fmt.Errorf("partition: %d cores exceed %d ways (set SharedWays to enable the shared-way fallback)",
+			c.NumCores, c.Cache.Ways)
 	}
 	if c.DRAM == nil {
 		return fmt.Errorf("partition: DRAM is nil")
@@ -230,111 +240,6 @@ func (c Config) withDefaults() Config {
 	}
 	return c
 }
-
-// Harness holds the machinery shared by every scheme: the physical
-// cache, the memory behind it, per-core statistics and transition
-// tracking. Schemes in this package embed it; external schemes
-// (Cooperative Partitioning in internal/core) use the exported
-// accessors.
-type Harness struct {
-	cfg   Config
-	l2    *cache.Cache
-	dram  *mem.DRAM
-	n     int
-	stats Stats
-	trans *TransitionStats
-}
-
-// NewHarness validates cfg, applies defaults and builds the shared
-// machinery. It panics on invalid configuration (experiment constants).
-func NewHarness(cfg Config) Harness {
-	if err := cfg.Validate(); err != nil {
-		panic(err)
-	}
-	cfg = cfg.withDefaults()
-	return Harness{
-		cfg:   cfg,
-		l2:    cache.New(cfg.Cache),
-		dram:  cfg.DRAM,
-		n:     cfg.NumCores,
-		stats: Stats{PerCore: make([]CoreStats, cfg.NumCores)},
-		trans: NewTransitionStats(cfg.TimelineBucket, cfg.TimelineBuckets),
-	}
-}
-
-// Cache exposes the underlying cache (tests and reporting).
-func (b *Harness) Cache() *cache.Cache { return b.l2 }
-
-// Stats implements Scheme.
-func (b *Harness) Stats() *Stats { return &b.stats }
-
-// Transitions implements Scheme.
-func (b *Harness) Transitions() *TransitionStats { return b.trans }
-
-// record tallies one access outcome for a core.
-func (b *Harness) record(core int, hit bool, tags int) {
-	cs := &b.stats.PerCore[core]
-	cs.Accesses++
-	cs.TagsConsulted += uint64(tags)
-	if hit {
-		cs.Hits++
-	} else {
-		cs.Misses++
-	}
-}
-
-// fill fetches line from memory at time now, returning the read
-// latency and counting the access.
-func (b *Harness) fill(line uint64, now int64) int64 {
-	return b.dram.Read(line, now)
-}
-
-// writeback posts one dirty line to memory.
-func (b *Harness) writeback(line uint64, now int64) {
-	b.dram.Write(line, now)
-	b.stats.WritebacksToMem++
-}
-
-// newMonitors builds one utility monitor per core.
-func (b *Harness) newMonitors() []*umon.Monitor {
-	mons := make([]*umon.Monitor, b.n)
-	for i := range mons {
-		mons[i] = umon.New(umon.Config{
-			Sets:     b.l2.NumSets(),
-			Ways:     b.l2.Ways(),
-			Sampling: b.cfg.UMONSampling,
-		})
-	}
-	return mons
-}
-
-// umonSampled reports whether set falls in a monitored sample.
-func (b *Harness) umonSampled(set int) bool {
-	return set%b.cfg.UMONSampling == 0
-}
-
-// Exported accessors for schemes implemented outside this package.
-
-// Cfg returns the harness configuration (with defaults applied).
-func (b *Harness) Cfg() Config { return b.cfg }
-
-// NumCores returns the number of cores sharing the LLC.
-func (b *Harness) NumCores() int { return b.n }
-
-// Record tallies one access outcome for a core.
-func (b *Harness) Record(core int, hit bool, tags int) { b.record(core, hit, tags) }
-
-// Fill fetches line from memory at now and returns the read latency.
-func (b *Harness) Fill(line uint64, now int64) int64 { return b.fill(line, now) }
-
-// Writeback posts one dirty line to memory.
-func (b *Harness) Writeback(line uint64, now int64) { b.writeback(line, now) }
-
-// NewMonitors builds one utility monitor per core.
-func (b *Harness) NewMonitors() []*umon.Monitor { return b.newMonitors() }
-
-// UMONSampled reports whether set falls in a monitored sample.
-func (b *Harness) UMONSampled(set int) bool { return b.umonSampled(set) }
 
 // Reset zeroes all counters (used at the end of a warm-up period).
 func (s *Stats) Reset() {

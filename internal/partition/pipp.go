@@ -22,24 +22,28 @@ import "repro/internal/umon"
 // power-gated — PIPP is a performance scheme; it is included to show
 // the Cooperative Partitioning energy results against a second
 // pseudo-partitioning baseline.
+//
+// On the Controller's access path PIPP's whole personality is two
+// hooks: touch (single-step promotion instead of the MRU touch) and
+// afterInstall (demotion to the insertion position). The fill victim is
+// the default invalid-then-LRU choice, which equals the stack's LRU
+// end.
 type PIPP struct {
-	Harness
+	Controller
 	mons   []*umon.Monitor
 	quotas []int
+	hooks  accessHooks
 }
 
 // NewPIPP builds the scheme.
 func NewPIPP(cfg Config) *PIPP {
-	p := &PIPP{Harness: NewHarness(cfg)}
-	p.mons = p.NewMonitors()
-	p.quotas = make([]int, p.n)
-	share := p.l2.Ways() / p.n
-	extra := p.l2.Ways() % p.n
-	for i := range p.quotas {
-		p.quotas[i] = share
-		if i < extra {
-			p.quotas[i]++
-		}
+	p := &PIPP{Controller: NewController(cfg)}
+	p.mons = p.newMonitors()
+	p.quotas = p.EqualShares()
+	p.hooks = accessHooks{
+		touch:        p.promote,
+		afterInstall: func(set, way, core int) { p.insertAt(set, way, p.quotas[core]-1) },
+		mons:         p.mons,
 	}
 	return p
 }
@@ -76,42 +80,7 @@ func (p *PIPP) stackOrder(set int) []int {
 
 // Access implements Scheme.
 func (p *PIPP) Access(core int, addr uint64, isWrite bool, now int64) Result {
-	line := p.l2.Line(addr)
-	set := p.l2.Index(line)
-	tag := p.l2.TagOf(line)
-	res := Result{TagsConsulted: p.l2.Ways()}
-
-	p.mons[core].Access(set, line)
-	res.UMONSampled = p.umonSampled(set)
-
-	if way, hit := p.l2.Probe(set, tag, p.l2.AllMask()); hit {
-		p.promote(set, way)
-		if isWrite {
-			p.l2.MarkDirty(set, way)
-		}
-		res.Hit = true
-		res.Latency = int64(p.l2.Latency())
-	} else {
-		order := p.stackOrder(set)
-		victim := order[0] // LRU (or an invalid way)
-		ev := p.l2.InstallAt(set, victim, tag, core, isWrite)
-		if ev.Valid && ev.Dirty {
-			p.writeback(ev.Line, now)
-			res.Writebacks++
-		}
-		p.insertAt(set, victim, p.quotas[core]-1)
-		res.Latency = int64(p.l2.Latency()) + p.fill(line, now+int64(p.l2.Latency()))
-	}
-
-	p.record(core, res.Hit, res.TagsConsulted)
-	st := p.l2.Stats()
-	st.Accesses++
-	if res.Hit {
-		st.Hits++
-	} else {
-		st.Misses++
-	}
-	return res
+	return p.access(core, addr, isWrite, now, &p.hooks)
 }
 
 // promote lifts way by one stack position: swap LRU stamps with the
@@ -165,14 +134,8 @@ func (p *PIPP) swapLRU(set, a, b int) {
 // Decide implements Scheme: recompute quotas by look-ahead.
 func (p *PIPP) Decide(now int64) {
 	p.stats.Decisions++
-	curves := make([]umon.Curve, p.n)
-	for i, m := range p.mons {
-		curves[i] = m.MissCurve()
-	}
-	next := umon.Lookahead(curves, p.l2.Ways(), p.cfg.MinAllocWays)
-	for _, m := range p.mons {
-		m.Decay()
-	}
+	next := umon.Lookahead(p.MissCurves(p.mons), p.l2.Ways(), p.cfg.MinAllocWays)
+	p.DecayMonitors(p.mons)
 	for i := range next {
 		if next[i] != p.quotas[i] {
 			p.stats.Repartitions++
@@ -181,9 +144,6 @@ func (p *PIPP) Decide(now int64) {
 		}
 	}
 }
-
-// PoweredWayEquiv implements Scheme: PIPP cannot gate ways.
-func (p *PIPP) PoweredWayEquiv() float64 { return float64(p.l2.Ways()) }
 
 // Allocations implements Scheme.
 func (p *PIPP) Allocations() []int { return append([]int(nil), p.quotas...) }

@@ -1,16 +1,13 @@
 package partition
 
-import (
-	"repro/internal/cache"
-	"repro/internal/umon"
-)
-
-// This file implements the quota-enforced access path shared by Fair
-// Share and UCP. Both schemes keep logical per-core way quotas: data is
-// not way-aligned, every access probes all tag ways, and the quota is
-// enforced by the replacement policy (as in Qureshi & Patt): a core
-// below its quota victimises the LRU block of an over-quota core, while
-// a core at or above quota victimises its own LRU block.
+// This file implements the quota-enforced victim selection shared by
+// Fair Share and UCP. Both schemes keep logical per-core way quotas:
+// data is not way-aligned, every access probes all tag ways, and the
+// quota is enforced by the replacement policy (as in Qureshi & Patt):
+// a core below its quota victimises the LRU block of an over-quota
+// core, while a core at or above quota victimises its own LRU block.
+// The probe/fill mechanics around it live in Controller.access; the
+// schemes inject quotaVictim through their accessHooks.
 
 // victimEvent reports which block a quota miss displaced, so UCP can
 // track way-migration progress.
@@ -23,7 +20,10 @@ type victimEvent struct {
 }
 
 // quotaVictim picks the replacement way in set for core under quotas.
-func (b *Harness) quotaVictim(set, core int, quotas []int) int {
+// Under the shared-way fallback quotas sum to more than the ways; a
+// core then effectively always sits at or above quota and competes in
+// LRU order like everyone else.
+func (b *Controller) quotaVictim(set, core int, quotas []int) int {
 	l2 := b.l2
 	mask := l2.AllMask()
 	// Invalid ways first: no one loses data.
@@ -72,58 +72,4 @@ func (b *Harness) quotaVictim(set, core int, quotas []int) int {
 		return w
 	}
 	return b.l2.Victim(set, mask)
-}
-
-// quotaAccess performs one access under way quotas. mons, when non-nil,
-// receive the access for utility monitoring. onVictim, when non-nil, is
-// called with the displaced block's details on a miss fill.
-func (b *Harness) quotaAccess(core int, addr uint64, isWrite bool, now int64,
-	quotas []int, mons []*umon.Monitor, onVictim func(victimEvent)) Result {
-
-	line := b.l2.Line(addr)
-	set := b.l2.Index(line)
-	tag := b.l2.TagOf(line)
-	res := Result{TagsConsulted: b.l2.Ways()}
-
-	if mons != nil {
-		mons[core].Access(set, line)
-		res.UMONSampled = b.umonSampled(set)
-	}
-
-	if way, hit := b.l2.Probe(set, tag, b.l2.AllMask()); hit {
-		b.l2.Touch(set, way)
-		if isWrite {
-			b.l2.MarkDirty(set, way)
-		}
-		res.Hit = true
-		res.Latency = int64(b.l2.Latency())
-	} else {
-		victim := b.quotaVictim(set, core, quotas)
-		prevOwn := cache.NoOwner
-		if b.l2.ValidAt(set, victim) {
-			prevOwn = b.l2.OwnerAt(set, victim)
-		}
-		ev := b.l2.InstallAt(set, victim, tag, core, isWrite)
-		if ev.Valid && ev.Dirty {
-			b.writeback(ev.Line, now)
-			res.Writebacks++
-		}
-		if onVictim != nil {
-			onVictim(victimEvent{
-				set: set, victimWay: victim,
-				owner: prevOwn, dirty: ev.Valid && ev.Dirty, valid: ev.Valid,
-			})
-		}
-		res.Latency = int64(b.l2.Latency()) + b.fill(line, now+int64(b.l2.Latency()))
-	}
-
-	b.record(core, res.Hit, res.TagsConsulted)
-	st := b.l2.Stats()
-	st.Accesses++
-	if res.Hit {
-		st.Hits++
-	} else {
-		st.Misses++
-	}
-	return res
 }

@@ -142,7 +142,7 @@ func TestMaskRange(t *testing.T) {
 	}
 }
 
-func TestHarnessAccessors(t *testing.T) {
+func TestControllerAccessors(t *testing.T) {
 	u := NewUnmanaged(testConfig(2))
 	if u.NumCores() != 2 {
 		t.Fatalf("NumCores = %d", u.NumCores())

@@ -16,9 +16,10 @@ import "repro/internal/umon"
 // transferred in every set per migrating way) and how many dirty lines
 // it flushes (Figure 16).
 type UCP struct {
-	Harness
+	Controller
 	mons   []*umon.Monitor
 	quotas []int
+	hooks  accessHooks
 
 	tr *ucpTransition
 }
@@ -37,17 +38,14 @@ type ucpTransition struct {
 
 // NewUCP builds the UCP scheme with one utility monitor per core.
 func NewUCP(cfg Config) *UCP {
-	u := &UCP{Harness: NewHarness(cfg)}
+	u := &UCP{Controller: NewController(cfg)}
 	u.mons = u.newMonitors()
-	u.quotas = make([]int, u.n)
 	// Until the first decision, behave like Fair Share.
-	share := u.l2.Ways() / u.n
-	extra := u.l2.Ways() % u.n
-	for i := range u.quotas {
-		u.quotas[i] = share
-		if i < extra {
-			u.quotas[i]++
-		}
+	u.quotas = u.EqualShares()
+	u.hooks = accessHooks{
+		victim:   func(set, core int, _ uint64) int { return u.quotaVictim(set, core, u.quotas) },
+		onVictim: u.onVictim,
+		mons:     u.mons,
 	}
 	return u
 }
@@ -60,8 +58,7 @@ func (u *UCP) Monitors() []*umon.Monitor { return u.mons }
 
 // Access implements Scheme.
 func (u *UCP) Access(core int, addr uint64, isWrite bool, now int64) Result {
-	return u.quotaAccess(core, addr, isWrite, now, u.quotas, u.mons,
-		func(ev victimEvent) { u.onVictim(core, ev, now) })
+	return u.access(core, addr, isWrite, now, &u.hooks)
 }
 
 // onVictim advances the transition tracker on every miss fill: flushes
@@ -97,14 +94,8 @@ func (u *UCP) onVictim(core int, ev victimEvent, now int64) {
 // monitors' miss curves and start tracking the resulting migration.
 func (u *UCP) Decide(now int64) {
 	u.stats.Decisions++
-	curves := make([]umon.Curve, u.n)
-	for i, m := range u.mons {
-		curves[i] = m.MissCurve()
-	}
-	next := umon.Lookahead(curves, u.l2.Ways(), u.cfg.MinAllocWays)
-	for _, m := range u.mons {
-		m.Decay()
-	}
+	next := umon.Lookahead(u.MissCurves(u.mons), u.l2.Ways(), u.cfg.MinAllocWays)
+	u.DecayMonitors(u.mons)
 
 	changed := false
 	moved := 0
@@ -137,9 +128,6 @@ func (u *UCP) Decide(now int64) {
 		remaining: u.l2.NumSets(),
 	}
 }
-
-// PoweredWayEquiv implements Scheme: UCP cannot gate ways.
-func (u *UCP) PoweredWayEquiv() float64 { return float64(u.l2.Ways()) }
 
 // Allocations implements Scheme.
 func (u *UCP) Allocations() []int { return append([]int(nil), u.quotas...) }

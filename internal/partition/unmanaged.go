@@ -2,14 +2,16 @@ package partition
 
 // Unmanaged is the baseline: a conventional shared LLC with global LRU
 // replacement. Cores evict each other's data freely, every access
-// consults every tag way, and every way is always powered.
+// consults every tag way, and every way is always powered. It is the
+// Controller's access path with no policy hooks at all.
 type Unmanaged struct {
-	Harness
+	Controller
+	hooks accessHooks
 }
 
 // NewUnmanaged builds the baseline scheme.
 func NewUnmanaged(cfg Config) *Unmanaged {
-	return &Unmanaged{Harness: NewHarness(cfg)}
+	return &Unmanaged{Controller: NewController(cfg)}
 }
 
 // Name implements Scheme.
@@ -17,43 +19,8 @@ func (u *Unmanaged) Name() string { return "Unmanaged" }
 
 // Access implements Scheme.
 func (u *Unmanaged) Access(core int, addr uint64, isWrite bool, now int64) Result {
-	line := u.l2.Line(addr)
-	set := u.l2.Index(line)
-	tag := u.l2.TagOf(line)
-	mask := u.l2.AllMask()
-	res := Result{TagsConsulted: u.l2.Ways()}
-
-	if way, hit := u.l2.Probe(set, tag, mask); hit {
-		u.l2.Touch(set, way)
-		if isWrite {
-			u.l2.MarkDirty(set, way)
-		}
-		res.Hit = true
-		res.Latency = int64(u.l2.Latency())
-	} else {
-		victim := u.l2.Victim(set, mask)
-		ev := u.l2.InstallAt(set, victim, tag, core, isWrite)
-		if ev.Valid && ev.Dirty {
-			u.writeback(ev.Line, now)
-			res.Writebacks++
-		}
-		res.Latency = int64(u.l2.Latency()) + u.fill(line, now+int64(u.l2.Latency()))
-	}
-	u.record(core, res.Hit, res.TagsConsulted)
-	u.l2.Stats().Accesses++
-	if res.Hit {
-		u.l2.Stats().Hits++
-	} else {
-		u.l2.Stats().Misses++
-	}
-	return res
+	return u.access(core, addr, isWrite, now, &u.hooks)
 }
-
-// Decide implements Scheme; the unmanaged cache never repartitions.
-func (u *Unmanaged) Decide(now int64) { u.stats.Decisions++ }
-
-// PoweredWayEquiv implements Scheme: everything is always on.
-func (u *Unmanaged) PoweredWayEquiv() float64 { return float64(u.l2.Ways()) }
 
 // Allocations implements Scheme: no quotas; report full ways for every
 // core (everyone may use everything).

@@ -1,0 +1,120 @@
+package sim
+
+// Many-core and banked-LLC system tests: the 8/16-core assemblies the
+// scaling sweep runs, the Cores tiling knob, and the Banks=1
+// bit-identity guarantee (DESIGN.md §9).
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestEightCoreRunEndToEnd(t *testing.T) {
+	g, err := workload.FindGroup("G8-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []SchemeKind{FairShare, UCP, CoopPart} {
+		res, err := Run(RunConfig{Scale: UnitScale(), Scheme: scheme, Group: g, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if len(res.IPC) != 8 {
+			t.Fatalf("%s: %d IPC entries, want 8", scheme, len(res.IPC))
+		}
+		for i, ipc := range res.IPC {
+			if ipc <= 0 || ipc > 4 {
+				t.Fatalf("%s: core %d IPC %v out of range", scheme, i, ipc)
+			}
+		}
+		if res.SchemeStats.Decisions == 0 {
+			t.Fatalf("%s: no phase decisions fired", scheme)
+		}
+	}
+}
+
+func TestCoresTilingRun(t *testing.T) {
+	// A two-benchmark group widened to 8 cores: four instances each,
+	// every instance on its own seed/address space.
+	g, _ := workload.FindGroup("G2-8")
+	res, err := Run(RunConfig{Scale: UnitScale(), Scheme: Unmanaged, Group: g, Cores: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Group != "G2-8@8" || len(res.Benchmarks) != 8 || len(res.IPC) != 8 {
+		t.Fatalf("tiled run results: group %q, %d benchmarks, %d IPCs",
+			res.Group, len(res.Benchmarks), len(res.IPC))
+	}
+	// Same benchmark, different core: distinct seeds mean the
+	// instances must not be cycle-clones of each other.
+	if res.IPC[0] == res.IPC[2] && res.MPKI[0] == res.MPKI[2] {
+		t.Fatalf("tiled instances look identical: IPC %v MPKI %v", res.IPC, res.MPKI)
+	}
+	// Shrinking a group is a loud error.
+	if _, err := Run(RunConfig{Scale: UnitScale(), Scheme: Unmanaged, Group: g, Cores: 1, Seed: 3}); err == nil {
+		t.Fatal("Cores below the group size must fail")
+	}
+}
+
+// TestBanksOneBitIdentical pins the acceptance guarantee: Banks = 1
+// (and the zero default) produce byte-identical Results to the
+// unbanked simulator for the paper's 2- and 4-core configurations.
+func TestBanksOneBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		group  string
+		scheme SchemeKind
+	}{
+		{"G2-2", CoopPart},
+		{"G4-9", UCP},
+	} {
+		g, _ := workload.FindGroup(tc.group)
+		base := RunConfig{Scale: UnitScale(), Scheme: tc.scheme, Group: g, Seed: 3}
+		def, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		one := base
+		one.Banks = 1
+		got, err := Run(one)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(def, got) {
+			t.Fatalf("%s/%s: Banks=1 diverged from the unbanked run", tc.group, tc.scheme)
+		}
+	}
+}
+
+func TestBankedRunDiffersAndCounts(t *testing.T) {
+	// With Banks > 1 the contention model is live: the run completes,
+	// stays deterministic, and bank conflicts surface in the timing
+	// (longer or equal critical path than the contention-free LLC).
+	g, _ := workload.FindGroup("G2-8") // lbm + soplex: heavy LLC traffic
+	base := RunConfig{Scale: UnitScale(), Scheme: FairShare, Group: g, Seed: 3}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	banked := base
+	banked.Banks = 4
+	b1, err := Run(banked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Run(banked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1, b2) {
+		t.Fatal("banked run is not deterministic")
+	}
+	if b1.Cycles < plain.Cycles {
+		t.Fatalf("banked critical path %d cycles below contention-free %d",
+			b1.Cycles, plain.Cycles)
+	}
+	if reflect.DeepEqual(plain, b1) {
+		t.Fatal("Banks=4 run identical to contention-free run; the port model never fired")
+	}
+}

@@ -104,16 +104,40 @@ func UnitScale() Scale {
 	return s
 }
 
-// L2For returns the shared-cache configuration for a core count.
+// L2For returns the shared-cache configuration for a core count. The
+// paper's Table 2 fixes the 2- and 4-core points (1MB and 4 ways per
+// core); larger CMPs extrapolate the same per-core scaling: capacity
+// and associativity double with the core count (the set count stays
+// constant, like Table 2's 4096 sets at both sizes) and the access
+// latency grows by 5 cycles per doubling (larger arrays, longer
+// wires). Associativity saturates at the 64-way mask limit — reached
+// at 16 cores — beyond which capacity keeps scaling through sets.
+// Core counts beyond 4 must be powers of two, up to 64 (the
+// permission-register mask limit).
 func (s Scale) L2For(cores int) (cache.Config, error) {
 	switch {
+	case cores <= 0:
+		return cache.Config{}, fmt.Errorf("sim: no L2 configuration for %d cores", cores)
 	case cores <= 2:
 		return s.L2TwoCore, nil
 	case cores <= 4:
 		return s.L2FourCore, nil
-	default:
-		return cache.Config{}, fmt.Errorf("sim: no L2 configuration for %d cores", cores)
 	}
+	if cores > 64 {
+		return cache.Config{}, fmt.Errorf("sim: %d cores exceed the 64-core limit", cores)
+	}
+	if cores&(cores-1) != 0 {
+		return cache.Config{}, fmt.Errorf("sim: core count %d beyond 4 must be a power of two", cores)
+	}
+	cfg := s.L2FourCore
+	for n := 4; n < cores; n *= 2 {
+		cfg.SizeBytes *= 2
+		if cfg.Ways*2 <= 64 {
+			cfg.Ways *= 2
+		}
+		cfg.Latency += 5
+	}
+	return cfg, nil
 }
 
 // InstrScale is the run length relative to the paper's 1B instructions.

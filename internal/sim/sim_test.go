@@ -69,8 +69,26 @@ func TestL2ForCoreCounts(t *testing.T) {
 	if err != nil || four.Ways != 16 {
 		t.Fatalf("L2For(4) = %+v, %v", four, err)
 	}
-	if _, err := s.L2For(8); err == nil {
-		t.Fatal("L2For(8) should fail")
+	// Beyond Table 2 the per-core scaling extrapolates: capacity and
+	// ways double per core-count doubling (sets constant), latency +5,
+	// ways saturating at the 64-way mask limit.
+	eight, err := s.L2For(8)
+	if err != nil || eight.Ways != 32 || eight.SizeBytes != 2*four.SizeBytes ||
+		eight.Latency != four.Latency+5 || eight.Sets() != four.Sets() {
+		t.Fatalf("L2For(8) = %+v, %v", eight, err)
+	}
+	sixteen, err := s.L2For(16)
+	if err != nil || sixteen.Ways != 64 || sixteen.Sets() != four.Sets() {
+		t.Fatalf("L2For(16) = %+v, %v", sixteen, err)
+	}
+	thirtyTwo, err := s.L2For(32)
+	if err != nil || thirtyTwo.Ways != 64 || thirtyTwo.Sets() != 2*four.Sets() {
+		t.Fatalf("L2For(32) = %+v, %v (ways saturate, sets scale)", thirtyTwo, err)
+	}
+	for _, bad := range []int{-1, 0, 6, 12, 128} {
+		if _, err := s.L2For(bad); err == nil {
+			t.Fatalf("L2For(%d) should fail", bad)
+		}
 	}
 }
 

@@ -34,11 +34,32 @@ const (
 // (PIPP, being an extension, is not part of the reproduced figures).
 var AllSchemes = []SchemeKind{Unmanaged, FairShare, DynCPE, UCP, CoopPart}
 
+// bankBusyCycles is the bank-port occupancy charged per LLC access
+// when RunConfig.Banks enables the contention model: a pipelined SRAM
+// bank accepts a new access every few cycles, well under its full
+// access latency.
+const bankBusyCycles = 4
+
 // RunConfig describes one simulation run.
 type RunConfig struct {
 	Scale  Scale
 	Scheme SchemeKind
 	Group  workload.Group
+	// Cores overrides the CMP's core count (0 = one core per group
+	// benchmark). When Cores exceeds the group size the benchmark list
+	// is tiled cyclically, each instance running as its own core with a
+	// distinct seed and address space; a non-zero Cores below the group
+	// size is an error.
+	Cores int
+	// Banks splits the shared LLC into address-interleaved banks with a
+	// bank-port contention model (cache.AcquireBank). 0 or 1 keeps the
+	// monolithic, contention-free LLC — bit-identical to the unbanked
+	// simulator.
+	Banks int
+	// SharedWays opts into the shared-way fallback when the core count
+	// exceeds the LLC ways (partition.Config.SharedWays); without it
+	// such configurations fail loudly.
+	SharedWays bool
 	// Threshold is Cooperative Partitioning's T (Algorithm 1), also
 	// used by Dynamic CPE's profile-driven allocation. The paper's
 	// default is 0.05.
@@ -93,9 +114,21 @@ func NewSystem(cfg RunConfig) (*System, error) {
 		return nil, err
 	}
 	n := len(cfg.Group.Benchmarks)
+	if cfg.Cores > 0 {
+		if cfg.Cores < n {
+			return nil, fmt.Errorf("sim: Cores = %d below the %d benchmarks of group %q",
+				cfg.Cores, n, cfg.Group.Name)
+		}
+		cfg.Group = cfg.Group.Tile(cfg.Cores)
+		n = cfg.Cores
+	}
 	l2cfg, err := cfg.Scale.L2For(n)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Banks > 1 {
+		l2cfg.Banks = cfg.Banks
+		l2cfg.BankBusyCycles = bankBusyCycles
 	}
 	cfg.Threshold = effectiveThreshold(cfg.Threshold, cfg.Scheme)
 
@@ -112,6 +145,7 @@ func NewSystem(cfg RunConfig) (*System, error) {
 		RecipientMissOnly: cfg.RecipientMissOnly,
 		DisableGating:     cfg.DisableGating,
 		RandomVictim:      cfg.RandomVictim,
+		SharedWays:        cfg.SharedWays,
 	}
 
 	var scheme partition.Scheme

@@ -47,19 +47,67 @@ var Groups4 = []Group{
 	{"G4-14", []string{"soplex", "bzip2", "astar", "milc"}},
 }
 
-// FindGroup looks a group up by name in both tables.
+// Groups8 are eight-application workloads for the many-core scaling
+// sweep, built from the Table 3 benchmarks by the paper's selection
+// procedure (every group carries at least one High and one Medium MPKI
+// program, with Low programs filling the remainder).
+var Groups8 = []Group{
+	{"G8-1", []string{"soplex", "lbm", "gcc", "astar", "dealII", "namd", "povray", "xalan"}},
+	{"G8-2", []string{"gobmk", "sjeng", "mcf", "libquantum", "bzip2", "h264ref", "omnetpp", "gromacs"}},
+	{"G8-3", []string{"lbm", "soplex", "sjeng", "calculix", "perlbench", "milc", "dealII", "astar"}},
+	{"G8-4", []string{"gobmk", "lbm", "gcc", "mcf", "xalan", "namd", "h264ref", "povray"}},
+	{"G8-5", []string{"soplex", "sjeng", "libquantum", "bzip2", "astar", "omnetpp", "perlbench", "gromacs"}},
+	{"G8-6", []string{"gobmk", "soplex", "lbm", "gcc", "calculix", "milc", "dealII", "xalan"}},
+}
+
+// Groups16 are sixteen-application workloads for the scaling sweep,
+// each drawing 16 of the 19 Table 3 benchmarks across all three MPKI
+// classes.
+var Groups16 = []Group{
+	{"G16-1", []string{
+		"gobmk", "lbm", "sjeng", "soplex", "astar", "bzip2", "calculix", "gcc",
+		"libquantum", "mcf", "dealII", "gromacs", "h264ref", "milc", "namd", "xalan"}},
+	{"G16-2", []string{
+		"gobmk", "lbm", "sjeng", "soplex", "astar", "bzip2", "calculix", "gcc",
+		"libquantum", "mcf", "h264ref", "milc", "omnetpp", "perlbench", "povray", "xalan"}},
+	{"G16-3", []string{
+		"lbm", "soplex", "gobmk", "sjeng", "mcf", "gcc", "astar", "libquantum",
+		"milc", "xalan", "povray", "perlbench", "omnetpp", "h264ref", "dealII", "calculix"}},
+	{"G16-4", []string{
+		"gobmk", "soplex", "lbm", "sjeng", "bzip2", "calculix", "gcc", "mcf",
+		"libquantum", "astar", "namd", "gromacs", "dealII", "omnetpp", "perlbench", "milc"}},
+}
+
+// FindGroup looks a group up by name in all the group tables.
 func FindGroup(name string) (Group, error) {
-	for _, g := range Groups2 {
-		if g.Name == name {
-			return g, nil
-		}
-	}
-	for _, g := range Groups4 {
-		if g.Name == name {
-			return g, nil
+	for _, table := range [][]Group{Groups2, Groups4, Groups8, Groups16} {
+		for _, g := range table {
+			if g.Name == name {
+				return g, nil
+			}
 		}
 	}
 	return Group{}, fmt.Errorf("workload: unknown group %q", name)
+}
+
+// Tile returns the group widened to n cores by cycling its benchmark
+// list: instance k of a benchmark runs as its own core with a distinct
+// seed and address space (Params.CoreID feeds both). The name records
+// the widening so memo keys and reports stay distinct from the
+// original group. Tile returns the group unchanged when n does not
+// exceed its size.
+func (g Group) Tile(n int) Group {
+	if n <= len(g.Benchmarks) {
+		return g
+	}
+	t := Group{
+		Name:       fmt.Sprintf("%s@%d", g.Name, n),
+		Benchmarks: make([]string, n),
+	}
+	for i := 0; i < n; i++ {
+		t.Benchmarks[i] = g.Benchmarks[i%len(g.Benchmarks)]
+	}
+	return t
 }
 
 // Validate checks a group's benchmarks all exist.

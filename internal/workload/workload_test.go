@@ -163,13 +163,65 @@ func TestGroupsCardinality(t *testing.T) {
 			t.Errorf("%s has %d benchmarks, want 4", g.Name, len(g.Benchmarks))
 		}
 	}
+	for _, g := range Groups8 {
+		if len(g.Benchmarks) != 8 {
+			t.Errorf("%s has %d benchmarks, want 8", g.Name, len(g.Benchmarks))
+		}
+	}
+	for _, g := range Groups16 {
+		if len(g.Benchmarks) != 16 {
+			t.Errorf("%s has %d benchmarks, want 16", g.Name, len(g.Benchmarks))
+		}
+	}
+}
+
+func allGroups() []Group {
+	var all []Group
+	for _, table := range [][]Group{Groups2, Groups4, Groups8, Groups16} {
+		all = append(all, table...)
+	}
+	return all
 }
 
 func TestGroupsValidate(t *testing.T) {
-	for _, g := range append(append([]Group{}, Groups2...), Groups4...) {
+	for _, g := range allGroups() {
 		if err := g.Validate(); err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+func TestGroupsDistinctBenchmarks(t *testing.T) {
+	// No group lists the same benchmark twice (tiled groups do, but
+	// only through Tile, which renames them).
+	for _, g := range allGroups() {
+		seen := map[string]bool{}
+		for _, b := range g.Benchmarks {
+			if seen[b] {
+				t.Errorf("%s lists %s twice", g.Name, b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestGroupTile(t *testing.T) {
+	g := Groups2[0]
+	tiled := g.Tile(8)
+	if tiled.Name != g.Name+"@8" || len(tiled.Benchmarks) != 8 {
+		t.Fatalf("Tile(8) = %+v", tiled)
+	}
+	for i, b := range tiled.Benchmarks {
+		if b != g.Benchmarks[i%2] {
+			t.Fatalf("tiled benchmark %d = %s, want %s", i, b, g.Benchmarks[i%2])
+		}
+	}
+	if err := tiled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Not widening returns the group untouched.
+	if same := g.Tile(2); same.Name != g.Name || len(same.Benchmarks) != 2 {
+		t.Fatalf("Tile(2) = %+v", same)
 	}
 }
 
@@ -182,6 +234,15 @@ func TestGroupsSelectionConstraints(t *testing.T) {
 		}
 	}
 	for _, g := range Groups4 {
+		if countClass(t, g, High) < 1 {
+			t.Errorf("%s has no High-MPKI benchmark", g.Name)
+		}
+		if countClass(t, g, Medium)+countClass(t, g, High) < 2 {
+			t.Errorf("%s lacks a second memory-intensive benchmark", g.Name)
+		}
+	}
+	// The many-core groups follow the same procedure.
+	for _, g := range append(append([]Group{}, Groups8...), Groups16...) {
 		if countClass(t, g, High) < 1 {
 			t.Errorf("%s has no High-MPKI benchmark", g.Name)
 		}
