@@ -190,6 +190,25 @@ func BenchmarkTraceGenerator(b *testing.B) {
 	}
 }
 
+// BenchmarkEventStream is BenchmarkTraceGenerator through the
+// run-length-encoded event API (DESIGN.md §10): same gcc stream, one
+// NextEvent per ALU-run-plus-record instead of one Next per record.
+// ns/op is per instruction, so the two benches compare directly.
+func BenchmarkEventStream(b *testing.B) {
+	gen := workload.MustGet("gcc").NewGenerator(workload.Params{
+		LineBytes: 64, WayLines: 128, InstrScale: 0.001, Seed: 1,
+	})
+	var ev trace.Event
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		gen.NextEvent(&ev)
+		done += ev.ALURun
+		if ev.HasRec {
+			done++
+		}
+	}
+}
+
 func BenchmarkLookahead(b *testing.B) {
 	curves := make([]umon.Curve, 4)
 	for i := range curves {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
 //
 // Without -fig, every data figure (5-16) is printed. Figures 1-4 are
@@ -23,6 +24,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -37,7 +39,19 @@ func main() {
 	sweep := flag.String("sweep", "", `sweep to run instead of figures ("scaling")`)
 	sweepCores := flag.String("sweep-cores", "", "comma-separated core counts for -sweep=scaling (default 2,4,8,16)")
 	sweepGroups := flag.Int("sweep-groups", 0, "groups per core count in the sweep (0 = all)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	sc, err := scaleByName(*scale)
 	if err != nil {

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	report [-out report] [-scale test|full] [-seed 1] [-workers N]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -25,7 +27,19 @@ func main() {
 	scaleName := flag.String("scale", "test", "simulation scale: test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	var scale sim.Scale
 	switch *scaleName {

@@ -72,7 +72,23 @@ type Core struct {
 	fetchLine  uint64  // line of the last instruction fetch
 	retireCost float64 // 1/Width cycles per retired instruction, precomputed
 	effMLP     float64 // effectiveMLP(), constant per benchmark, precomputed
-	stats      Stats
+
+	// Event-consumption state (StepEvent): the one pending event,
+	// consumed in place (ALURun counts down, ALUPC walks forward;
+	// ALURun == 0 && !HasRec marks it drained — also the zero value),
+	// plus the code-region bounds the PC walk wraps at (cached from
+	// the generator at construction). Exactly one event is pulled at a
+	// time, reusing this one struct: the same per-pull discipline —
+	// and the same single hot cache line — as the per-record path's
+	// reused Record (a multi-event prefetch buffer was measured
+	// slower; it cycles its buffer's lines through the L1 alongside
+	// the cache model's own traffic, the §2 story at event scale).
+	ev        trace.Event
+	evExact   bool // Width is a power of two: O(1) run retirement allowed
+	codeBase  uint64
+	codeLimit uint64
+
+	stats Stats
 
 	gshare *Gshare
 	mem    MemPort
@@ -111,10 +127,21 @@ func NewCore(id int, cfg Config, gen *trace.Generator, mem MemPort) *Core {
 		gen:        gen,
 		mem:        mem,
 		retireCost: 1 / float64(cfg.Width),
+		// Batched O(1) run retirement is only bit-identical to repeated
+		// per-record retirement when retireCost is a negative power of
+		// two (see StepEvent); other widths fall back to per-record
+		// stepping inside StepEvent.
+		evExact: cfg.Width&(cfg.Width-1) == 0,
 	}
 	c.effMLP = c.effectiveMLP()
+	c.codeBase, c.codeLimit = gen.CodeBounds()
 	return c
 }
+
+// EventCapable reports whether StepEvent uses batched run retirement
+// for this core (true for power-of-two issue widths); other cores
+// consume events through the bit-identical per-record fallback.
+func (c *Core) EventCapable() bool { return c.evExact }
 
 // ID returns the core's identifier.
 func (c *Core) ID() int { return c.id }
@@ -168,10 +195,31 @@ func (c *Core) effectiveMLP() float64 {
 // overlaps the two. Prefetching a chunk of records ahead of time was
 // implemented and measured 4-10% slower end-to-end at every chunk size
 // (see DESIGN.md §2) because the burst serialises against the
-// simulator's stalls instead of hiding under them.
+// simulator's stalls instead of hiding under them. The simulator's
+// default stepping mode is the bit-identical event-compressed
+// StepEvent (DESIGN.md §10), which keeps the same one-pull-per-step
+// discipline at event granularity; Step remains the differential
+// reference and the fallback for non-power-of-two widths.
 func (c *Core) Step() {
+	// Drain any event-pulled instructions first so Step and StepEvent
+	// can be mixed freely on one core without reordering the stream.
+	if c.ev.ALURun > 0 {
+		c.stepOneALU(&c.ev)
+		return
+	}
+	if c.ev.HasRec {
+		c.ev.HasRec = false
+		c.stepRecord(&c.ev.Rec)
+		return
+	}
 	var r trace.Record
 	c.gen.Next(&r)
+	c.stepRecord(&r)
+}
+
+// stepRecord retires one materialized instruction: the body of Step,
+// shared with the event path's terminating records.
+func (c *Core) stepRecord(r *trace.Record) {
 	c.retired++
 	c.stats.Retired++
 	c.clock += c.retireCost
@@ -217,6 +265,173 @@ func (c *Core) Step() {
 			c.stats.StallCycles += stall
 		}
 	}
+}
+
+// StepEvent advances the core by consuming the generator's
+// run-length-encoded event stream, one event at a time through the
+// in-place Core.ev (see its field comment for why exactly one),
+// retiring instructions while the core's clock (in whole cycles, as
+// Now reports it) stays at or below bound and at most maxRetire
+// instructions in total. It returns the number retired — at least one
+// when entered with Now() <= bound and maxRetire > 0, so a stepping
+// loop that re-checks its bounds between calls always makes progress.
+//
+// The retired sequence is bit-identical to maxRetire (or fewer)
+// per-record Step calls under the same bound: ALU runs touch no
+// shared state except instruction fetches at I-line crossings, which
+// StepEvent performs at the same PCs and the same clock values as
+// per-record stepping, and the run's clock arithmetic is either exact
+// integer math in units of retireCost (power-of-two widths with the
+// clock an exact multiple of retireCost) or literally the same
+// sequence of float additions (see advanceClock). Non-power-of-two
+// widths take the per-record fallback below, guarded at construction
+// (evExact).
+func (c *Core) StepEvent(bound int64, maxRetire uint64) uint64 {
+	// Clamp far-future bounds so (bound+1)*Width stays in int64; any
+	// real clock is far below 2^52 cycles, so the clamp is invisible.
+	if bound > 1<<52 {
+		bound = 1 << 52
+	}
+	if !c.evExact {
+		// retireCost is not exactly representable: batching the clock
+		// advance would round differently than repeated addition, so
+		// consume the stream one record at a time.
+		var n uint64
+		for n < maxRetire && c.Now() <= bound {
+			c.Step()
+			n++
+		}
+		return n
+	}
+	var n uint64
+	for n < maxRetire && c.Now() <= bound {
+		if c.ev.ALURun > 0 {
+			n += c.retireALURun(&c.ev, bound, maxRetire-n)
+			continue
+		}
+		if c.ev.HasRec {
+			c.ev.HasRec = false
+			c.stepRecord(&c.ev.Rec)
+			n++
+			continue
+		}
+		c.gen.NextEvent(&c.ev)
+	}
+	return n
+}
+
+// stepOneALU retires a single pending ALU instruction with the exact
+// per-record sequence: retire slot, then the I-fetch line check (a
+// fetch miss stalls the front end), then the sequential PC advance.
+func (c *Core) stepOneALU(e *trace.Event) {
+	c.retired++
+	c.stats.Retired++
+	c.clock += c.retireCost
+	pc := e.ALUPC
+	if line := pc >> 6; line != c.fetchLine {
+		c.fetchLine = line
+		reply := c.mem.Fetch(c.id, pc, int64(c.clock))
+		if !reply.L1Hit {
+			c.stats.FetchMisses++
+			stall := float64(reply.Latency)
+			c.clock += stall
+			c.stats.StallCycles += stall
+		}
+	}
+	pc += 4
+	if pc >= c.codeLimit {
+		pc = c.codeBase
+	}
+	e.ALUPC = pc
+	e.ALURun--
+}
+
+// retireALURun drains e's ALU run: I-line crossings step one
+// instruction at a time (their fetch can stall and move the clock past
+// the bound), the sequential instructions between crossings retire as
+// one arithmetic batch. Stops at the bound, the limit or the run's end.
+func (c *Core) retireALURun(e *trace.Event, bound int64, limit uint64) uint64 {
+	var done uint64
+	for e.ALURun > 0 && done < limit && c.Now() <= bound {
+		pc := e.ALUPC
+		if pc>>6 != c.fetchLine {
+			c.stepOneALU(e)
+			done++
+			continue
+		}
+		// Sequential instructions within the already-fetched I-line (or
+		// up to the code region's wrap point): retirement slots only.
+		lineEnd := (pc | 63) + 1
+		if c.codeLimit < lineEnd {
+			lineEnd = c.codeLimit
+		}
+		k := uint64(lineEnd-pc) >> 2
+		if r := uint64(e.ALURun); r < k {
+			k = r
+		}
+		if left := limit - done; left < k {
+			k = left
+		}
+		// Slot 0 was pre-approved by the loop condition (the per-record
+		// path checks the bound before each retire, not after); only the
+		// remaining slots need bound checks or the grid jump.
+		c.clock += c.retireCost
+		j := uint64(1)
+		if j < k {
+			j += c.advanceClock(k-1, bound)
+		}
+		c.retired += j
+		c.stats.Retired += j
+		done += j
+		e.ALURun -= int(j)
+		pc += j << 2
+		if pc >= c.codeLimit {
+			pc = c.codeBase
+		}
+		e.ALUPC = pc
+		if j < k {
+			break // bound cut the segment short
+		}
+	}
+	return done
+}
+
+// advanceClock advances the clock by up to k retirement slots, each
+// allowed only while the pre-retirement clock satisfies Now() <= bound
+// (the per-record stepping condition), and returns how many retired.
+//
+// When the clock is an exact multiple of retireCost = 1/Width (Width a
+// power of two, so retireCost is a negative power of two), every
+// repeated addition of retireCost is exact — both operands and the sum
+// are multiples of 2^-log2(Width) well inside float64's 53-bit
+// mantissa — so the whole advance collapses to integer arithmetic in
+// units of retireCost, bit-identical to per-record stepping. A
+// fractional memory stall (latency divided by a non-power-of-two
+// effective MLP) leaves the clock off the retireCost grid; repeated
+// addition then rounds at each step, so the fallback performs the
+// per-record float additions literally.
+func (c *Core) advanceClock(k uint64, bound int64) uint64 {
+	w := float64(c.cfg.Width)
+	t := c.clock * w // exact: w is a power of two
+	if ti := int64(t); float64(ti) == t {
+		// Pre-retirement clock of slot j is (ti+j)*retireCost, whose
+		// whole-cycle value is (ti+j)/Width rounded toward zero; it is
+		// allowed while (ti+j)/Width <= bound, i.e. j < (bound+1)*Width - ti.
+		if allowed := (bound+1)*int64(c.cfg.Width) - ti; allowed < int64(k) {
+			if allowed <= 0 {
+				return 0
+			}
+			k = uint64(allowed)
+		}
+		c.clock += float64(k) * c.retireCost // exact: k*retireCost and the sum are on the grid
+		return k
+	}
+	var done uint64
+	for done < k && int64(c.clock) <= bound {
+		c.clock += c.retireCost
+		done++
+	}
+	return done
 }
 
 // ResetStats restarts IPC accounting and zeroes counters while keeping

@@ -1,6 +1,10 @@
 package sim
 
-import "repro/internal/cpu"
+import (
+	"math"
+
+	"repro/internal/cpu"
+)
 
 // clockHeap is an indexed binary min-heap over the local clocks of a
 // fixed set of cores, ordered by (clock, core index). The secondary
@@ -70,6 +74,27 @@ func (h *clockHeap) FixMin(now int64) {
 	h.siftDown(0)
 }
 
+// secondBound returns the largest clock value the minimum item minIdx
+// can reach while still being selected by Min: the runner-up's clock,
+// minus one when the runner-up has the smaller index and so wins the
+// tie. The runner-up is the smaller of the root's children (each heap
+// subtree's minimum is at its root). math.MaxInt64 when there is no
+// other item.
+func (h *clockHeap) secondBound(minIdx int) int64 {
+	best := int64(math.MaxInt64)
+	bestIdx := int(^uint(0) >> 1)
+	for s := 1; s <= 2 && s < len(h.idx); s++ {
+		i := h.idx[s]
+		if n := h.now[i]; n < best || (n == best && i < bestIdx) {
+			best, bestIdx = n, i
+		}
+	}
+	if bestIdx < minIdx {
+		best--
+	}
+	return best
+}
+
 // corePicker selects the next core to step. One- and two-core systems
 // keep the linear scan (a single compare — cheaper than any heap
 // bookkeeping), larger CMPs use the O(log n) heap; both orders are
@@ -112,4 +137,29 @@ func (p *corePicker) FixMin(now int64) {
 	if p.heap != nil {
 		p.heap.FixMin(now)
 	}
+}
+
+// Bound returns the inclusive clock bound under which core min (the
+// current Min) keeps being selected: per-record stepping would step it
+// repeatedly while its Now() stays at or below this value, so a
+// batched step may retire up to that point without reordering any
+// inter-core interleaving. math.MaxInt64 for a single-core system.
+func (p *corePicker) Bound(min int) int64 {
+	if p.heap != nil {
+		return p.heap.secondBound(min)
+	}
+	best := int64(math.MaxInt64)
+	bestIdx := int(^uint(0) >> 1)
+	for i := range p.cores {
+		if i == min {
+			continue
+		}
+		if n := p.cores[i].Now(); n < best || (n == best && i < bestIdx) {
+			best, bestIdx = n, i
+		}
+	}
+	if bestIdx < min {
+		best--
+	}
+	return best
 }

@@ -99,6 +99,11 @@ type System struct {
 	lineBytes    int
 	lineShift    uint  // log2(lineBytes), hoisted out of the access path
 	measureFrom  int64 // clock at the end of warm-up (energy reset point)
+	// stepRecords forces the per-record Step path instead of the
+	// event-compressed StepEvent path (DESIGN.md §10). The two are
+	// bit-identical — this switch exists for the differential tests
+	// that prove it.
+	stepRecords bool
 
 	profMon    *umon.Monitor
 	profPhases []partition.ProfilePhase
@@ -303,6 +308,29 @@ func (s *System) decide(now int64) {
 	s.meter.Advance(now)
 }
 
+// stepBound returns the inclusive clock bound for one batched step of
+// core ci: the picker's second-minimum (the interleaving per-record
+// stepping would enforce) capped by the next phase boundary (the
+// decision must fire before the core's clock reaches it).
+func (s *System) stepBound(h corePicker, ci int) int64 {
+	bound := h.Bound(ci)
+	if d := s.nextDecision - 1; d < bound {
+		bound = d
+	}
+	return bound
+}
+
+// stepCap returns the batched-retirement cap for a core that has not
+// yet crossed target: per-record stepping re-checks the retirement
+// target after every instruction, so a batch must stop exactly at the
+// crossing for IPC/MPKI to be recorded at the same instant.
+func stepCap(c *cpu.Core, target uint64) uint64 {
+	if r := c.Retired(); r < target {
+		return target - r
+	}
+	return ^uint64(0)
+}
+
 // runUntil steps cores in clock order until every core has retired
 // target instructions (since the last stats reset), firing phase
 // decisions on the way.
@@ -315,14 +343,19 @@ func (s *System) runUntil(target uint64) {
 	}
 	h := s.newPicker()
 	for remaining > 0 {
-		c := s.cores[h.Min()]
+		ci := h.Min()
+		c := s.cores[ci]
 		now := c.Now()
 		for now >= s.nextDecision {
 			s.decide(s.nextDecision)
 			s.nextDecision += s.cfg.Scale.PhaseCycles
 		}
 		before := c.Retired()
-		c.Step()
+		if s.stepRecords {
+			c.Step()
+		} else {
+			c.StepEvent(s.stepBound(h, ci), stepCap(c, target))
+		}
 		h.FixMin(c.Now())
 		if before < target && c.Retired() >= target {
 			remaining--
@@ -358,7 +391,15 @@ func (s *System) Run() *Results {
 			s.decide(s.nextDecision)
 			s.nextDecision += s.cfg.Scale.PhaseCycles
 		}
-		c.Step()
+		if s.stepRecords {
+			c.Step()
+		} else {
+			limit := ^uint64(0)
+			if !recorded[ci] {
+				limit = stepCap(c, target)
+			}
+			c.StepEvent(s.stepBound(h, ci), limit)
+		}
 		h.FixMin(c.Now())
 		if !recorded[ci] && c.Retired() >= target {
 			recorded[ci] = true

@@ -157,12 +157,22 @@ func (c Config) Validate() error {
 // rng is a SplitMix64 generator: tiny, fast and deterministic.
 type rng struct{ state uint64 }
 
-func (r *rng) next() uint64 {
-	r.state += 0x9e3779b97f4a7c15
-	z := r.state
+// smGamma is SplitMix64's state increment: the state after n draws is
+// state + n*smGamma (wrapping), so a future fast-forward tier could
+// jump the walk in O(1) (see ROADMAP; not bit-identical, so unused
+// by the simulator).
+const smGamma = 0x9e3779b97f4a7c15
+
+// smMix is SplitMix64's output finalizer.
+func smMix(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+func (r *rng) next() uint64 {
+	r.state += smGamma
+	return smMix(r.state)
 }
 
 // float returns a uniform float64 in [0, 1).
@@ -191,6 +201,19 @@ type Generator struct {
 	codeBase uint64 // byte base of the code region
 	curPC    uint64 // current program counter (bytes)
 	emitted  uint64
+
+	// Division-free fast paths for the per-access hot loop. A 64-bit
+	// divide by a runtime divisor costs tens of cycles on most cores,
+	// and the working-set arm used to pay up to two per access
+	// (memCount%PhasePeriod and the sweep's wsPos%active). All are
+	// exact caches of the modulo expressions they replace, so the
+	// emitted stream is bit-identical (pinned by the §10 differential
+	// tests and TestFillMatchesNext).
+	wsActiveFull  []int    // int(float64(Lines)*1), the large-phase active size
+	wsActiveSmall []int    // int(float64(Lines)*PhaseDepth), clamped to >= 1
+	wsActiveCur   []int    // active size wsSweepPos is maintained for (0 = unset)
+	wsSweepPos    []uint64 // wsPos[i] % wsActiveCur[i], maintained incrementally
+	halfPeriod    uint64   // uint64(PhasePeriod)/2
 }
 
 // NewGenerator builds a generator. It panics on an invalid config:
@@ -224,7 +247,15 @@ func NewGenerator(cfg Config) *Generator {
 			cum += ws.Weight / total
 		}
 		g.wsCum = append(g.wsCum, cum)
+		// The two possible active footprint sizes (the phase scale is
+		// either 1 or PhaseDepth), precomputed with exactly the
+		// expression the access path used to evaluate per access.
+		g.wsActiveFull = append(g.wsActiveFull, activeLines(ws.Lines, 1))
+		g.wsActiveSmall = append(g.wsActiveSmall, activeLines(ws.Lines, cfg.PhaseDepth))
+		g.wsActiveCur = append(g.wsActiveCur, 0)
+		g.wsSweepPos = append(g.wsSweepPos, 0)
 	}
+	g.halfPeriod = uint64(cfg.PhasePeriod) / 2
 	if g.cfg.CodeLines < 1 {
 		g.cfg.CodeLines = 1
 	}
@@ -283,6 +314,8 @@ func (g *Generator) Fill(buf []Record) {
 	branchCut := cfg.MemFrac + cfg.BranchFrac
 	streamFrac := cfg.StreamFrac
 	hugeCut := cfg.StreamFrac + cfg.HugeFrac
+	period, halfPeriod := phaseBounds(cfg.PhasePeriod, g.halfPeriod)
+	phasePos := memCount % period
 
 	for i := range buf {
 		r := &buf[i]
@@ -293,6 +326,9 @@ func (g *Generator) Fill(buf []Record) {
 			// Memory access: load or store with an address drawn from
 			// the stream/huge/working-set mixture.
 			memCount++
+			if phasePos++; phasePos == period {
+				phasePos = 0
+			}
 			if rng.float() < cfg.StoreFrac {
 				r.Kind = KindStore
 			} else {
@@ -308,7 +344,9 @@ func (g *Generator) Fill(buf []Record) {
 				line = g.hugeBase + uint64(rng.intn(cfg.HugeLines))
 			default:
 				// Working sets: pick one by weight, index uniformly
-				// within the currently-active fraction of its footprint.
+				// within the currently-active fraction of its footprint
+				// (precomputed per phase; sweep positions maintained
+				// division-free — see the Generator fast-path fields).
 				z := rng.float()
 				idx := len(g.wsCum) - 1
 				for k, c := range g.wsCum {
@@ -317,19 +355,21 @@ func (g *Generator) Fill(buf []Record) {
 						break
 					}
 				}
-				scale := 1.0
-				if cfg.PhasePeriod > 0 {
-					if memCount%uint64(cfg.PhasePeriod) >= uint64(cfg.PhasePeriod)/2 {
-						scale = cfg.PhaseDepth
-					}
-				}
-				active := int(float64(cfg.WorkingSets[idx].Lines) * scale)
-				if active < 1 {
-					active = 1
+				active := g.wsActiveFull[idx]
+				if phasePos >= halfPeriod {
+					active = g.wsActiveSmall[idx]
 				}
 				if cfg.WorkingSets[idx].Sweep {
 					g.wsPos[idx]++
-					line = g.wsBase[idx] + g.wsPos[idx]%uint64(active)
+					pos := g.wsSweepPos[idx] + 1
+					if g.wsActiveCur[idx] != active {
+						g.wsActiveCur[idx] = active
+						pos = g.wsPos[idx] % uint64(active)
+					} else if pos >= uint64(active) {
+						pos = 0
+					}
+					g.wsSweepPos[idx] = pos
+					line = g.wsBase[idx] + pos
 				} else {
 					line = g.wsBase[idx] + uint64(rng.intn(active))
 				}
@@ -367,6 +407,28 @@ func (g *Generator) Fill(buf []Record) {
 	g.memCount = memCount
 	g.strmPos = strmPos
 	g.emitted += uint64(len(buf))
+}
+
+// phaseBounds returns the (period, half-period) pair the hot loops
+// maintain the phase position against. A phase-free config maps to an
+// unreachable period so the small-phase compare is always false and
+// the wrap never fires — no branch on PhasePeriod in the loop.
+func phaseBounds(period int, half uint64) (uint64, uint64) {
+	if period == 0 {
+		return ^uint64(0), ^uint64(0)
+	}
+	return uint64(period), half
+}
+
+// activeLines is the active fraction of a working-set footprint under
+// a phase scale — the exact expression the access path historically
+// computed inline, so the precomputed values are bit-identical.
+func activeLines(lines int, scale float64) int {
+	active := int(float64(lines) * scale)
+	if active < 1 {
+		active = 1
+	}
+	return active
 }
 
 // log2 returns floor(log2(v)) for positive v.
