@@ -7,6 +7,7 @@
 //
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
 //	        [-scale test|full] [-seed 1] [-compare] [-workers N]
+//	        [-fidelity exact|fastforward]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -compare, all five schemes run on the group and a comparison
@@ -37,6 +38,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compare := flag.Bool("compare", false, "run every scheme and print a comparison")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	fidelity := flag.String("fidelity", "exact",
+		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -64,8 +67,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
 	runner := experiments.NewRunner(experiments.Config{
-		Scale: scale, Seed: *seed, Threshold: *threshold, Workers: *workers,
+		Scale: scale, Seed: *seed, Threshold: *threshold, Workers: *workers, Fidelity: fid,
 	})
 
 	if *compare {
@@ -80,7 +87,11 @@ func main() {
 }
 
 func report(r *experiments.Runner, res *sim.Results) {
-	fmt.Printf("scheme %s on %s (%v)\n\n", res.Scheme, res.Group, res.Benchmarks)
+	fmt.Printf("scheme %s on %s (%v)\n", res.Scheme, res.Group, res.Benchmarks)
+	if res.Fidelity != sim.FidelityExact {
+		fmt.Printf("fidelity %s (statistical tier, not byte-comparable to exact runs)\n", res.Fidelity)
+	}
+	fmt.Println()
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "benchmark\tIPC\tMPKI\tL1 miss rate")
 	for i, b := range res.Benchmarks {

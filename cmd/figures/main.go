@@ -5,7 +5,7 @@
 // Usage:
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
-//	        [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-fidelity exact|fastforward] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
 //
 // Without -fig, every data figure (5-16) is printed. Figures 1-4 are
@@ -36,6 +36,8 @@ func main() {
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
 		"Cooperative Partitioning takeover threshold T")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	fidelity := flag.String("fidelity", "exact",
+		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
 	sweep := flag.String("sweep", "", `sweep to run instead of figures ("scaling")`)
 	sweepCores := flag.String("sweep-cores", "", "comma-separated core counts for -sweep=scaling (default 2,4,8,16)")
 	sweepGroups := flag.Int("sweep-groups", 0, "groups per core count in the sweep (0 = all)")
@@ -57,8 +59,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
 	r := experiments.NewRunner(experiments.Config{
-		Scale: sc, Seed: *seed, Threshold: *threshold, Workers: *workers,
+		Scale: sc, Seed: *seed, Threshold: *threshold, Workers: *workers, Fidelity: fid,
 	})
 
 	if *sweep != "" {

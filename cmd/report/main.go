@@ -6,7 +6,7 @@
 // Usage:
 //
 //	report [-out report] [-scale test|full] [-seed 1] [-workers N]
-//	       [-cpuprofile cpu.out] [-memprofile mem.out]
+//	       [-fidelity exact|fastforward] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -27,6 +27,8 @@ func main() {
 	scaleName := flag.String("scale", "test", "simulation scale: test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	fidelity := flag.String("fidelity", "exact",
+		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -50,10 +52,16 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown scale %q", *scaleName))
 	}
+	fid, err := sim.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	r := experiments.NewRunner(experiments.Config{Scale: scale, Seed: *seed, Workers: *workers})
+	r := experiments.NewRunner(experiments.Config{
+		Scale: scale, Seed: *seed, Workers: *workers, Fidelity: fid,
+	})
 
 	md, err := os.Create(filepath.Join(*out, "report.md"))
 	if err != nil {
@@ -64,6 +72,10 @@ func main() {
 	fmt.Fprintf(md, "# Cooperative Partitioning — regenerated evaluation\n\n")
 	fmt.Fprintf(md, "scale: %s, seed: %d, generated: %s\n\n",
 		scale.Name, *seed, time.Now().Format(time.RFC3339))
+	if fid != sim.FidelityExact {
+		fmt.Fprintf(md, "**fidelity: %s** — statistical RNG-walk tier, not byte-comparable "+
+			"to exact-tier reports (see cmd/tiercheck for the equivalence contract)\n\n", fid)
+	}
 
 	// Tables.
 	fmt.Fprintf(md, "## Tables\n\n```\n")

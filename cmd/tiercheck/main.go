@@ -1,0 +1,96 @@
+// Command tiercheck runs the RNG-walk tier-equivalence harness
+// (experiments.ValidateTiers): both the bit-identical Exact tier and
+// the statistical FastForward tier execute the headline figures across
+// a seed sweep, and the run fails (exit 1) unless every figure's
+// exact-vs-fastforward delta is small relative to the smallest gap
+// between schemes — the contract that keeps the non-bit-identical
+// tier honest (DESIGN.md §11). CI runs it as a gate and uploads the
+// JSON report as an artifact; EXPERIMENTS.md records a TestScale run.
+//
+// Usage:
+//
+//	tiercheck [-scale unit|test|full] [-seeds 5] [-seed-base 1]
+//	          [-groups N] [-threshold T] [-gap-fraction 0.5]
+//	          [-gap-floor 0.02] [-workers N] [-json report.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	scaleName := flag.String("scale", "test", "simulation scale: unit, test or full")
+	seeds := flag.Int("seeds", 5, "number of seeds in the sweep")
+	seedBase := flag.Uint64("seed-base", 1, "first seed of the sweep")
+	groups := flag.Int("groups", 0, "two-core groups per figure (0 = all)")
+	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
+		"Cooperative Partitioning takeover threshold T")
+	gapFraction := flag.Float64("gap-fraction", experiments.DefaultGapFraction,
+		"pass when max tier delta <= gap-fraction * min between-scheme gap")
+	gapFloor := flag.Float64("gap-floor", experiments.DefaultGapFloor,
+		"scheme pairs closer than this are near-ties excluded from the gap")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	jsonOut := flag.String("json", "", "also write the machine-readable report to this file")
+	flag.Parse()
+
+	var scale sim.Scale
+	switch *scaleName {
+	case "unit":
+		scale = sim.UnitScale()
+	case "test":
+		scale = sim.TestScale()
+	case "full":
+		scale = sim.FullScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q (unit, test or full)", *scaleName))
+	}
+	if *seeds <= 0 {
+		fatal(fmt.Errorf("-seeds must be positive, got %d", *seeds))
+	}
+	sweep := make([]uint64, *seeds)
+	for i := range sweep {
+		sweep[i] = *seedBase + uint64(i)
+	}
+
+	report, err := experiments.ValidateTiers(experiments.TierCheckConfig{
+		Scale:       scale,
+		Seeds:       sweep,
+		Threshold:   *threshold,
+		Workers:     *workers,
+		MaxGroups:   *groups,
+		GapFraction: *gapFraction,
+		GapFloor:    *gapFloor,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := report.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if !report.Pass {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tiercheck:", err)
+	os.Exit(1)
+}

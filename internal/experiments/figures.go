@@ -124,7 +124,8 @@ func (r *Runner) thresholdSeries(id, title, ylabel string, speedup bool,
 	var reqs []Request
 	for _, T := range Thresholds {
 		for _, g := range groups {
-			reqs = append(reqs, Request{Group: g, Scheme: sim.CoopPart, Threshold: T})
+			reqs = append(reqs, Request{Group: g, Scheme: sim.CoopPart, Threshold: T,
+				Fidelity: r.cfg.Fidelity})
 		}
 	}
 	if err := r.runAll(reqs, speedup); err != nil {

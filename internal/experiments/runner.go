@@ -37,6 +37,12 @@ type Config struct {
 	// every worker count: each simulation is an independent
 	// single-goroutine run keyed only by its configuration.
 	Workers int
+	// Fidelity is the RNG-walk tier every figure/table/ablation method
+	// of the runner executes at. The zero value is sim.FidelityExact —
+	// the statistical FastForward tier is opt-in at every layer and
+	// memoised under distinct keys, so an exact result is never served
+	// to a fast-forward request or vice versa.
+	Fidelity sim.Fidelity
 }
 
 // Variant names a run-configuration mutation of the ablation and
@@ -97,11 +103,13 @@ type runKey struct {
 	scheme    sim.SchemeKind
 	threshold float64
 	variant   Variant
+	fidelity  sim.Fidelity
 }
 
 type aloneKey struct {
 	benchmark string
 	cores     int
+	fidelity  sim.Fidelity
 }
 
 // NewRunner builds a Runner; a zero-value Config gets the test scale,
@@ -132,17 +140,29 @@ func (r *Runner) Scale() sim.Scale { return r.cfg.Scale }
 func (r *Runner) Simulations() uint64 { return r.sims.Load() }
 
 // AloneResults returns (memoised) the solo run of a benchmark on the
-// LLC geometry used by groups of the given core count.
+// LLC geometry used by groups of the given core count, at the runner's
+// fidelity.
 func (r *Runner) AloneResults(benchmark string, cores int) (*sim.Results, error) {
-	return r.alone.Do(aloneKey{benchmark, cores}, func() (*sim.Results, error) {
+	return r.aloneResults(benchmark, cores, r.cfg.Fidelity)
+}
+
+// aloneResults is the fully keyed solo run: fidelity is part of the
+// memo key so the two tiers' solo IPCs never alias.
+func (r *Runner) aloneResults(benchmark string, cores int, fid sim.Fidelity) (*sim.Results, error) {
+	return r.alone.Do(aloneKey{benchmark, cores, fid}, func() (*sim.Results, error) {
 		r.sims.Add(1)
-		return sim.RunAlone(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
+		return sim.RunAloneFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
 	})
 }
 
-// AloneIPC returns a benchmark's alone IPC for Equation 1.
+// AloneIPC returns a benchmark's alone IPC for Equation 1 at the
+// runner's fidelity.
 func (r *Runner) AloneIPC(benchmark string, cores int) (float64, error) {
-	res, err := r.AloneResults(benchmark, cores)
+	return r.aloneIPC(benchmark, cores, r.cfg.Fidelity)
+}
+
+func (r *Runner) aloneIPC(benchmark string, cores int, fid sim.Fidelity) (float64, error) {
+	res, err := r.aloneResults(benchmark, cores, fid)
 	if err != nil {
 		return 0, err
 	}
@@ -150,11 +170,15 @@ func (r *Runner) AloneIPC(benchmark string, cores int) (float64, error) {
 }
 
 // Profile returns (memoised) the per-phase utility profile of a
-// benchmark for Dynamic CPE.
+// benchmark for Dynamic CPE, at the runner's fidelity.
 func (r *Runner) Profile(benchmark string, cores int) (partition.CoreProfile, error) {
-	return r.profiles.Do(aloneKey{benchmark, cores}, func() (partition.CoreProfile, error) {
+	return r.profile(benchmark, cores, r.cfg.Fidelity)
+}
+
+func (r *Runner) profile(benchmark string, cores int, fid sim.Fidelity) (partition.CoreProfile, error) {
+	return r.profiles.Do(aloneKey{benchmark, cores, fid}, func() (partition.CoreProfile, error) {
 		r.sims.Add(1)
-		return sim.ProfileBenchmark(benchmark, r.cfg.Scale, cores, r.cfg.Seed)
+		return sim.ProfileBenchmarkFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
 	})
 }
 
@@ -172,10 +196,18 @@ func (r *Runner) RunGroupThreshold(g workload.Group, scheme sim.SchemeKind, thre
 	return r.RunGroupVariant(g, scheme, threshold, VariantNone)
 }
 
-// RunGroupVariant is the fully keyed run: group x scheme x threshold x
-// ablation variant.
+// RunGroupVariant is RunGroupFidelity at the runner's fidelity.
 func (r *Runner) RunGroupVariant(g workload.Group, scheme sim.SchemeKind, threshold float64, v Variant) (*sim.Results, error) {
-	key := runKey{g.Name, scheme, threshold, v}
+	return r.RunGroupFidelity(g, scheme, threshold, v, r.cfg.Fidelity)
+}
+
+// RunGroupFidelity is the fully keyed run: group x scheme x threshold
+// x ablation variant x RNG-walk tier. Fidelity is part of the memo key
+// (like the threshold sentinel, regression-pinned by
+// TestFidelityMemoisedDistinctly), and a DynCPE run gathers its
+// profiles at its own tier.
+func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, threshold float64, v Variant, fid sim.Fidelity) (*sim.Results, error) {
+	key := runKey{g.Name, scheme, threshold, v, fid}
 	return r.runs.Do(key, func() (*sim.Results, error) {
 		cfg := sim.RunConfig{
 			Scale:     r.cfg.Scale,
@@ -183,13 +215,14 @@ func (r *Runner) RunGroupVariant(g workload.Group, scheme sim.SchemeKind, thresh
 			Group:     g,
 			Threshold: sim.EncodeThreshold(threshold),
 			Seed:      r.cfg.Seed,
+			Fidelity:  fid,
 		}
 		if err := applyVariant(&cfg, v); err != nil {
 			return nil, err
 		}
 		if scheme == sim.DynCPE {
 			for _, b := range g.Benchmarks {
-				p, err := r.Profile(b, len(g.Benchmarks))
+				p, err := r.profile(b, len(g.Benchmarks), fid)
 				if err != nil {
 					return nil, err
 				}
@@ -201,11 +234,14 @@ func (r *Runner) RunGroupVariant(g workload.Group, scheme sim.SchemeKind, thresh
 	})
 }
 
-// WeightedSpeedup computes Equation 1 for one run.
+// WeightedSpeedup computes Equation 1 for one run. The solo
+// denominators come from the run's own RNG-walk tier (res.Fidelity):
+// a fast-forward numerator over an exact denominator would fold the
+// tier delta into every speedup.
 func (r *Runner) WeightedSpeedup(res *sim.Results) (float64, error) {
 	alone := make(map[string]float64, len(res.Benchmarks))
 	for _, b := range res.Benchmarks {
-		ipc, err := r.AloneIPC(b, len(res.Benchmarks))
+		ipc, err := r.aloneIPC(b, len(res.Benchmarks), res.Fidelity)
 		if err != nil {
 			return 0, err
 		}
@@ -216,12 +252,16 @@ func (r *Runner) WeightedSpeedup(res *sim.Results) (float64, error) {
 
 // Request names one memoisable run for RunAll. Threshold follows
 // RunGroupThreshold semantics: 0 is an explicit zero threshold, not the
-// runner's default.
+// runner's default. Fidelity is explicit — the zero value is
+// sim.FidelityExact, never the runner's default — so hand-built
+// requests stay on the bit-identical tier unless they opt out; the
+// runner's own request builders stamp its configured fidelity.
 type Request struct {
 	Group     workload.Group
 	Scheme    sim.SchemeKind
 	Threshold float64
 	Variant   Variant
+	Fidelity  sim.Fidelity
 }
 
 // RunAll executes every request — plus the Dynamic CPE profiles any
@@ -245,18 +285,18 @@ func (r *Runner) runAll(reqs []Request, speedup bool) error {
 	for _, req := range reqs {
 		cores := len(req.Group.Benchmarks)
 		for _, b := range req.Group.Benchmarks {
-			k := aloneKey{b, cores}
+			k := aloneKey{b, cores, req.Fidelity}
 			if speedup && !seenAlone[k] {
 				seenAlone[k] = true
 				tasks = append(tasks, func() error {
-					_, err := r.AloneResults(k.benchmark, k.cores)
+					_, err := r.aloneResults(k.benchmark, k.cores, k.fidelity)
 					return err
 				})
 			}
 			if req.Scheme == sim.DynCPE && !seenProfile[k] {
 				seenProfile[k] = true
 				tasks = append(tasks, func() error {
-					_, err := r.Profile(k.benchmark, k.cores)
+					_, err := r.profile(k.benchmark, k.cores, k.fidelity)
 					return err
 				})
 			}
@@ -264,7 +304,7 @@ func (r *Runner) runAll(reqs []Request, speedup bool) error {
 	}
 	for _, req := range reqs {
 		tasks = append(tasks, func() error {
-			_, err := r.RunGroupVariant(req.Group, req.Scheme, req.Threshold, req.Variant)
+			_, err := r.RunGroupFidelity(req.Group, req.Scheme, req.Threshold, req.Variant, req.Fidelity)
 			return err
 		})
 	}
@@ -287,22 +327,25 @@ func (r *Runner) PrefetchSpeedup(groups []workload.Group, schemes []sim.SchemeKi
 }
 
 // crossRequests builds the groups x schemes request list at the
-// runner's threshold.
+// runner's threshold and fidelity.
 func (r *Runner) crossRequests(groups []workload.Group, schemes []sim.SchemeKind) []Request {
 	reqs := make([]Request, 0, len(groups)*len(schemes))
 	for _, g := range groups {
 		for _, s := range schemes {
-			reqs = append(reqs, Request{Group: g, Scheme: s, Threshold: r.cfg.Threshold})
+			reqs = append(reqs, Request{Group: g, Scheme: s, Threshold: r.cfg.Threshold,
+				Fidelity: r.cfg.Fidelity})
 		}
 	}
 	return reqs
 }
 
 // runPairs warms a baseline and a comparison arm for every group: the
-// two template requests are stamped with each group in turn and fanned
-// out together — the shape every two-arm ablation shares.
+// two template requests are stamped with each group in turn (and the
+// runner's fidelity) and fanned out together — the shape every two-arm
+// ablation shares.
 func (r *Runner) runPairs(groups []workload.Group, speedup bool, base, alt Request) error {
 	reqs := make([]Request, 0, 2*len(groups))
+	base.Fidelity, alt.Fidelity = r.cfg.Fidelity, r.cfg.Fidelity
 	for _, g := range groups {
 		base.Group, alt.Group = g, g
 		reqs = append(reqs, base, alt)

@@ -1,0 +1,299 @@
+package experiments
+
+// The tier-equivalence validation harness (DESIGN.md §11). The
+// FastForward RNG-walk tier is a different sample from the same
+// workload distribution, so it can never be byte-compared against the
+// exact tier; what keeps it honest is a statistical contract: on the
+// headline figures, the per-scheme delta between tiers must be small
+// relative to the smallest gap *between schemes* — the quantity the
+// figures exist to discriminate. ValidateTiers measures both sides of
+// that contract across a seed sweep and emits a machine-readable
+// report that CI gates on (cmd/tiercheck) and EXPERIMENTS.md records.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Default pass criteria for TierCheckConfig.
+const (
+	// DefaultGapFraction: a figure passes when its largest tier delta
+	// is at most this fraction of its smallest between-scheme gap.
+	DefaultGapFraction = 0.5
+	// DefaultGapFloor: scheme pairs closer than this are near-ties the
+	// figure does not discriminate (e.g. the static-energy figure pins
+	// Unmanaged, UCP and FairShare at ~1.0 by construction); they are
+	// excluded from the between-scheme gap, and a figure with no
+	// resolvable gap at all falls back to the floor as denominator.
+	DefaultGapFloor = 0.02
+)
+
+// TierCheckConfig parameterises ValidateTiers.
+type TierCheckConfig struct {
+	Scale sim.Scale // TestScale if zero
+	// Seeds is the seed sweep; both tiers run at every seed and the
+	// compared values are seed means. Defaults to 1..5.
+	Seeds     []uint64
+	Threshold float64 // CoopPart/DynCPE threshold; DefaultThreshold if 0
+	Workers   int     // concurrent simulations; GOMAXPROCS if 0
+	// MaxGroups caps the two-core groups per figure (0 = all 14) so CI
+	// smokes stay cheap.
+	MaxGroups   int
+	GapFraction float64 // DefaultGapFraction if 0
+	GapFloor    float64 // DefaultGapFloor if 0
+}
+
+// TierDelta is one scheme's seed-mean figure value at both tiers.
+type TierDelta struct {
+	Scheme      string  `json:"scheme"`
+	Exact       float64 `json:"exact"`
+	FastForward float64 `json:"fast_forward"`
+	Delta       float64 `json:"delta"`
+}
+
+// TierFigure is the tier comparison of one headline figure: the AVG
+// (geomean over groups, normalised to FairShare) column per scheme.
+type TierFigure struct {
+	ID       string      `json:"id"`
+	Deltas   []TierDelta `json:"deltas"`
+	MaxDelta float64     `json:"max_delta"`
+	// MinGap is the smallest between-scheme gap of the exact tier
+	// (near-ties below GapFloor excluded); 0 when no pair resolves.
+	MinGap float64 `json:"min_gap"`
+	// Ratio is MaxDelta over MinGap (or over GapFloor when no pair
+	// resolves); the figure passes when Ratio <= GapFraction.
+	Ratio float64 `json:"ratio"`
+	Pass  bool    `json:"pass"`
+}
+
+// TierReport is the machine-readable output of ValidateTiers.
+type TierReport struct {
+	Scale       string       `json:"scale"`
+	Seeds       []uint64     `json:"seeds"`
+	Groups      int          `json:"groups"`
+	GapFraction float64      `json:"gap_fraction"`
+	GapFloor    float64      `json:"gap_floor"`
+	Figures     []TierFigure `json:"figures"`
+	Simulations uint64       `json:"simulations"`
+	Pass        bool         `json:"pass"`
+}
+
+// tierMetrics are the per-figure values of one (seed, scheme, tier)
+// cell: geomean over the groups of the metric normalised to the same
+// tier's FairShare run — exactly the AVG column of Figures 5/6/7.
+type tierMetrics struct{ ws, dyn, stat float64 }
+
+// tierFigureIDs names the compared figures in report order.
+var tierFigureIDs = []string{"Fig5-WS", "Fig6-DynEnergy", "Fig7-StaticPower"}
+
+func (m tierMetrics) value(fig int) float64 {
+	switch fig {
+	case 0:
+		return m.ws
+	case 1:
+		return m.dyn
+	default:
+		return m.stat
+	}
+}
+
+// ValidateTiers runs both RNG-walk tiers across the seed sweep and
+// checks the statistical-equivalence contract figure by figure. The
+// returned report is complete even when the contract fails (Pass is
+// per-figure and overall); the error is reserved for runs that could
+// not execute.
+func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
+	if cfg.Scale.Name == "" {
+		cfg.Scale = sim.TestScale()
+	}
+	if len(cfg.Seeds) == 0 {
+		cfg.Seeds = []uint64{1, 2, 3, 4, 5}
+	}
+	if cfg.GapFraction == 0 {
+		cfg.GapFraction = DefaultGapFraction
+	}
+	if cfg.GapFloor == 0 {
+		cfg.GapFloor = DefaultGapFloor
+	}
+	groups := workload.Groups2
+	if cfg.MaxGroups > 0 && cfg.MaxGroups < len(groups) {
+		groups = groups[:cfg.MaxGroups]
+	}
+	tiers := []sim.Fidelity{sim.FidelityExact, sim.FidelityFastForward}
+
+	// sums[fig][scheme][tier] accumulates the per-seed figure values.
+	sums := make([][][2]float64, len(tierFigureIDs))
+	for i := range sums {
+		sums[i] = make([][2]float64, len(tierSchemes))
+	}
+	var sims uint64
+	for _, seed := range cfg.Seeds {
+		r := NewRunner(Config{
+			Scale: cfg.Scale, Seed: seed,
+			Threshold: cfg.Threshold, Workers: cfg.Workers,
+		})
+		// One fan-out per seed: both tiers' (group, scheme) runs plus
+		// Equation 1's tier-matched solo runs and the DynCPE profiles.
+		var reqs []Request
+		for _, fid := range tiers {
+			for _, g := range groups {
+				for _, s := range sim.AllSchemes {
+					reqs = append(reqs, Request{Group: g, Scheme: s,
+						Threshold: r.cfg.Threshold, Fidelity: fid})
+				}
+			}
+		}
+		if err := r.RunAllSpeedup(reqs); err != nil {
+			return nil, err
+		}
+		for si, scheme := range tierSchemes {
+			for ti, fid := range tiers {
+				m, err := r.tierCell(groups, scheme, fid)
+				if err != nil {
+					return nil, err
+				}
+				for fi := range sums {
+					sums[fi][si][ti] += m.value(fi)
+				}
+			}
+		}
+		sims += r.Simulations()
+	}
+
+	report := &TierReport{
+		Scale:       cfg.Scale.Name,
+		Seeds:       cfg.Seeds,
+		Groups:      len(groups),
+		GapFraction: cfg.GapFraction,
+		GapFloor:    cfg.GapFloor,
+		Simulations: sims,
+		Pass:        true,
+	}
+	n := float64(len(cfg.Seeds))
+	for fi, id := range tierFigureIDs {
+		fig := TierFigure{ID: id}
+		exact := make([]float64, len(tierSchemes))
+		for si, scheme := range tierSchemes {
+			ex := sums[fi][si][0] / n
+			ff := sums[fi][si][1] / n
+			exact[si] = ex
+			d := TierDelta{
+				Scheme: string(scheme), Exact: ex, FastForward: ff,
+				Delta: math.Abs(ex - ff),
+			}
+			fig.Deltas = append(fig.Deltas, d)
+			if d.Delta > fig.MaxDelta {
+				fig.MaxDelta = d.Delta
+			}
+		}
+		fig.MinGap = minSchemeGap(exact, cfg.GapFloor)
+		denom := fig.MinGap
+		if denom == 0 {
+			denom = cfg.GapFloor
+		}
+		fig.Ratio = fig.MaxDelta / denom
+		fig.Pass = fig.Ratio <= cfg.GapFraction
+		if !fig.Pass {
+			report.Pass = false
+		}
+		report.Figures = append(report.Figures, fig)
+	}
+	return report, nil
+}
+
+// tierSchemes is AllSchemes in report order.
+var tierSchemes = sim.AllSchemes
+
+// tierCell computes one (scheme, tier) cell from the runner's warm
+// memo: geomean over groups of the metric normalised to the same
+// tier's FairShare run.
+func (r *Runner) tierCell(groups []workload.Group, scheme sim.SchemeKind, fid sim.Fidelity) (tierMetrics, error) {
+	wsR := make([]float64, 0, len(groups))
+	dynR := make([]float64, 0, len(groups))
+	statR := make([]float64, 0, len(groups))
+	for _, g := range groups {
+		fair, err := r.RunGroupFidelity(g, sim.FairShare, r.cfg.Threshold, VariantNone, fid)
+		if err != nil {
+			return tierMetrics{}, err
+		}
+		res, err := r.RunGroupFidelity(g, scheme, r.cfg.Threshold, VariantNone, fid)
+		if err != nil {
+			return tierMetrics{}, err
+		}
+		fairWS, err := r.WeightedSpeedup(fair)
+		if err != nil {
+			return tierMetrics{}, err
+		}
+		ws, err := r.WeightedSpeedup(res)
+		if err != nil {
+			return tierMetrics{}, err
+		}
+		if fairWS == 0 || fair.Dynamic == 0 || fair.StaticPower == 0 {
+			return tierMetrics{}, fmt.Errorf("experiments: zero FairShare baseline for %s at %s", g.Name, fid)
+		}
+		wsR = append(wsR, ws/fairWS)
+		dynR = append(dynR, res.Dynamic/fair.Dynamic)
+		statR = append(statR, res.StaticPower/fair.StaticPower)
+	}
+	return tierMetrics{
+		ws:   metrics.GeoMean(wsR),
+		dyn:  metrics.GeoMean(dynR),
+		stat: metrics.GeoMean(statR),
+	}, nil
+}
+
+// minSchemeGap returns the smallest pairwise distance among the exact
+// per-scheme values, ignoring near-ties under floor; 0 when no pair
+// resolves.
+func minSchemeGap(vals []float64, floor float64) float64 {
+	min := 0.0
+	for i := 0; i < len(vals); i++ {
+		for j := i + 1; j < len(vals); j++ {
+			gap := math.Abs(vals[i] - vals[j])
+			if gap < floor {
+				continue
+			}
+			if min == 0 || gap < min {
+				min = gap
+			}
+		}
+	}
+	return min
+}
+
+// WriteJSON emits the report for CI artifacts and EXPERIMENTS.md.
+func (r *TierReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable emits the report as an aligned human-readable table.
+func (r *TierReport) WriteTable(w io.Writer) error {
+	status := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	if _, err := fmt.Fprintf(w, "tier equivalence: scale=%s seeds=%v groups=%d gap-fraction=%.2f gap-floor=%.3f (%d simulations)\n",
+		r.Scale, r.Seeds, r.Groups, r.GapFraction, r.GapFloor, r.Simulations); err != nil {
+		return err
+	}
+	for _, fig := range r.Figures {
+		fmt.Fprintf(w, "\n%s  max-delta=%.4f min-gap=%.4f ratio=%.3f  %s\n",
+			fig.ID, fig.MaxDelta, fig.MinGap, fig.Ratio, status(fig.Pass))
+		fmt.Fprintf(w, "  %-10s %10s %12s %9s\n", "scheme", "exact", "fastforward", "delta")
+		for _, d := range fig.Deltas {
+			fmt.Fprintf(w, "  %-10s %10.4f %12.4f %9.4f\n", d.Scheme, d.Exact, d.FastForward, d.Delta)
+		}
+	}
+	_, err := fmt.Fprintf(w, "\noverall: %s\n", status(r.Pass))
+	return err
+}

@@ -1,0 +1,22 @@
+package sim
+
+import "repro/internal/trace"
+
+// Fidelity re-exports the trace tier selector so run configuration,
+// experiment memo keys and command flags all speak one type. The zero
+// value is FidelityExact: the bit-identical walk stays the default at
+// every layer, and FidelityFastForward is a separately-labelled opt-in
+// tier — the same posture as TestScale vs FullScale (DESIGN.md §11).
+type Fidelity = trace.Fidelity
+
+const (
+	// FidelityExact is the bit-identical per-draw RNG walk (default).
+	FidelityExact = trace.FidelityExact
+	// FidelityFastForward is the O(1) geometric fast-forward tier:
+	// statistically equivalent, never byte-comparable, validated by
+	// experiments.ValidateTiers.
+	FidelityFastForward = trace.FidelityFastForward
+)
+
+// ParseFidelity parses a -fidelity flag value ("exact"/"fastforward").
+func ParseFidelity(s string) (Fidelity, error) { return trace.ParseFidelity(s) }

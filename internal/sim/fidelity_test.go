@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFidelityDefaultIsExact pins the opt-in posture at the sim layer:
+// a zero-valued Fidelity runs the exact tier and its results are
+// byte-identical to an explicitly-exact run, so no caller can drift
+// onto the statistical tier by omission.
+func TestFidelityDefaultIsExact(t *testing.T) {
+	g := workload.Groups2[0]
+	cfg := RunConfig{Scale: UnitScale(), Scheme: CoopPart, Group: g, Seed: 1}
+	def, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fidelity = FidelityExact
+	explicit, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Fidelity != FidelityExact {
+		t.Fatalf("default run records fidelity %v, want exact", def.Fidelity)
+	}
+	if !reflect.DeepEqual(def, explicit) {
+		t.Fatal("zero-valued Fidelity differs from explicit FidelityExact")
+	}
+}
+
+// TestFastForwardRun checks the FastForward tier end to end on one
+// group: the run is deterministic (two runs byte-identical), labelled
+// with its tier, genuinely a different RNG walk than exact (cycle
+// counts differ), yet statistically close — per-core IPC within 20% of
+// the exact run. The tight per-figure bounds live in
+// experiments.ValidateTiers; this is the sim-layer smoke.
+func TestFastForwardRun(t *testing.T) {
+	g := workload.Groups2[0]
+	cfg := RunConfig{Scale: UnitScale(), Scheme: CoopPart, Group: g, Seed: 1,
+		Fidelity: FidelityFastForward}
+	ff, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ff, again) {
+		t.Fatal("FastForward run is not deterministic")
+	}
+	if ff.Fidelity != FidelityFastForward {
+		t.Fatalf("run records fidelity %v, want fastforward", ff.Fidelity)
+	}
+
+	cfg.Fidelity = FidelityExact
+	exact, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Cycles == exact.Cycles {
+		t.Fatal("FastForward run has the exact tier's cycle count; the walk did not change")
+	}
+	for i := range ff.IPC {
+		if rel := math.Abs(ff.IPC[i]-exact.IPC[i]) / exact.IPC[i]; rel > 0.20 {
+			t.Fatalf("core %d IPC: fastforward %v vs exact %v (%.1f%% apart)",
+				i, ff.IPC[i], exact.IPC[i], 100*rel)
+		}
+	}
+}
+
+// TestFidelityRejectsUnknown pins loud failure for an out-of-range
+// tier value.
+func TestFidelityRejectsUnknown(t *testing.T) {
+	g := workload.Groups2[0]
+	_, err := Run(RunConfig{Scale: UnitScale(), Scheme: CoopPart, Group: g, Seed: 1,
+		Fidelity: Fidelity(9)})
+	if err == nil {
+		t.Fatal("Run accepted an unknown fidelity")
+	}
+}

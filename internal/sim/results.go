@@ -10,8 +10,13 @@ import (
 
 // Results captures everything one run produces.
 type Results struct {
-	Scheme     string
-	Group      string
+	Scheme string
+	Group  string
+	// Fidelity is the RNG-walk tier the run executed at. Consumers
+	// comparing or normalising results must only mix runs of one tier
+	// (experiments keys its memo on it, and WeightedSpeedup picks
+	// matching-tier solo runs through it).
+	Fidelity   Fidelity
 	Benchmarks []string
 
 	// IPC[i] is core i's instructions per cycle over its measured
@@ -88,6 +93,13 @@ func SoloGroup(benchmark string) workload.Group {
 // will be compared with, so the core count of the target group is part
 // of the key.
 func RunAlone(benchmark string, sc Scale, coresInGroup int, seed uint64) (*Results, error) {
+	return RunAloneFidelity(benchmark, sc, coresInGroup, seed, FidelityExact)
+}
+
+// RunAloneFidelity is RunAlone at an explicit RNG-walk tier: Equation
+// 1's denominators must come from the same tier as the shared runs
+// they normalise, so FastForward evaluations solo-run at FastForward.
+func RunAloneFidelity(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (*Results, error) {
 	l2, err := sc.L2For(coresInGroup)
 	if err != nil {
 		return nil, err
@@ -97,16 +109,24 @@ func RunAlone(benchmark string, sc Scale, coresInGroup int, seed uint64) (*Resul
 	solo := sc
 	solo.L2TwoCore = l2
 	return Run(RunConfig{
-		Scale:  solo,
-		Scheme: Unmanaged,
-		Group:  SoloGroup(benchmark),
-		Seed:   seed,
+		Scale:    solo,
+		Scheme:   Unmanaged,
+		Group:    SoloGroup(benchmark),
+		Seed:     seed,
+		Fidelity: fid,
 	})
 }
 
 // ProfileBenchmark runs a benchmark solo and captures its per-phase
 // utility curves for Dynamic CPE (the paper's offline profiling step).
 func ProfileBenchmark(benchmark string, sc Scale, coresInGroup int, seed uint64) (partition.CoreProfile, error) {
+	return ProfileBenchmarkFidelity(benchmark, sc, coresInGroup, seed, FidelityExact)
+}
+
+// ProfileBenchmarkFidelity is ProfileBenchmark at an explicit RNG-walk
+// tier (Dynamic CPE's profiles feed allocation decisions, so a
+// FastForward evaluation profiles at FastForward).
+func ProfileBenchmarkFidelity(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (partition.CoreProfile, error) {
 	l2, err := sc.L2For(coresInGroup)
 	if err != nil {
 		return partition.CoreProfile{}, err
@@ -118,6 +138,7 @@ func ProfileBenchmark(benchmark string, sc Scale, coresInGroup int, seed uint64)
 		Scheme:         Unmanaged,
 		Group:          SoloGroup(benchmark),
 		Seed:           seed,
+		Fidelity:       fid,
 		CaptureProfile: true,
 	})
 	if err != nil {

@@ -60,6 +60,12 @@ type RunConfig struct {
 	// exceeds the LLC ways (partition.Config.SharedWays); without it
 	// such configurations fail loudly.
 	SharedWays bool
+	// Fidelity selects the trace generators' RNG-walk tier. The zero
+	// value (FidelityExact) is the bit-identical walk and the only
+	// default at every layer; FidelityFastForward is the opt-in
+	// statistical tier (DESIGN.md §11) whose results must never be
+	// compared byte-for-byte against exact runs.
+	Fidelity Fidelity
 	// Threshold is Cooperative Partitioning's T (Algorithm 1), also
 	// used by Dynamic CPE's profile-driven allocation. The paper's
 	// default is 0.05.
@@ -116,6 +122,9 @@ func NewSystem(cfg RunConfig) (*System, error) {
 		return nil, err
 	}
 	if err := cfg.Group.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Fidelity.Validate(); err != nil {
 		return nil, err
 	}
 	n := len(cfg.Group.Benchmarks)
@@ -199,6 +208,7 @@ func NewSystem(cfg RunConfig) (*System, error) {
 			InstrScale: cfg.Scale.InstrScale(),
 			PhaseScale: cfg.Scale.PhaseScale(),
 			Seed:       cfg.Seed,
+			Fidelity:   cfg.Fidelity,
 		})
 		s.l1 = append(s.l1, cache.New(cfg.Scale.L1D))
 		s.l1i = append(s.l1i, cache.New(cfg.Scale.L1I))
@@ -374,6 +384,7 @@ func (s *System) Run() *Results {
 	res := &Results{
 		Scheme:     string(s.cfg.Scheme),
 		Group:      s.cfg.Group.Name,
+		Fidelity:   s.cfg.Fidelity,
 		Benchmarks: append([]string(nil), s.cfg.Group.Benchmarks...),
 		IPC:        make([]float64, n),
 		MPKI:       make([]float64, n),

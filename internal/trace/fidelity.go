@@ -1,0 +1,272 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fidelity selects the RNG-walk tier of a generator's event stream
+// (DESIGN.md §11). The zero value is FidelityExact, so every config
+// that does not opt in keeps the bit-identical walk — the same
+// "default is the reference" posture as sim.TestScale vs FullScale.
+type Fidelity uint8
+
+const (
+	// FidelityExact is the bit-identical per-draw walk: every ALU
+	// instruction of a run costs one SplitMix64 draw, and the event
+	// stream decompresses to the exact record stream Next/Fill produce
+	// (pinned by TestEventStreamMatchesNext).
+	FidelityExact Fidelity = iota
+
+	// FidelityFastForward replaces an ALU run's per-draw Bernoulli walk
+	// with one uniform draw inverted through the geometric CDF and an
+	// O(1) SplitMix64 state jump (state += n*smGamma) past the draws
+	// the run would have consumed. The resulting stream is NOT
+	// bit-identical to the exact walk — it is a different sample from
+	// the same distribution — so the tier is opt-in only and must be
+	// validated statistically (experiments.ValidateTiers), never
+	// byte-compared. Only the event path (NextEvent/FillEvents) fast-
+	// forwards; Next/Fill always perform the exact walk.
+	FidelityFastForward
+)
+
+// String returns the flag-friendly tier name.
+func (f Fidelity) String() string {
+	switch f {
+	case FidelityExact:
+		return "exact"
+	case FidelityFastForward:
+		return "fastforward"
+	default:
+		return fmt.Sprintf("fidelity(%d)", uint8(f))
+	}
+}
+
+// Validate reports unknown tiers.
+func (f Fidelity) Validate() error {
+	if f > FidelityFastForward {
+		return fmt.Errorf("trace: unknown fidelity %d", uint8(f))
+	}
+	return nil
+}
+
+// ParseFidelity parses a tier name as the -fidelity flags accept it.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "exact":
+		return FidelityExact, nil
+	case "fastforward":
+		return FidelityFastForward, nil
+	default:
+		return 0, fmt.Errorf("trace: unknown fidelity %q (exact or fastforward)", s)
+	}
+}
+
+// fillEventsFF is FillEvents' FastForward tier. Per event it draws the
+// ALU run length n directly from the geometric distribution the exact
+// per-draw walk realises — P(run >= n) = pALU^n with pALU the ALU
+// fraction of the mix — via one uniform draw over the tabulated CDF
+// (Generator.ffTab), whose leftover randomness rescales into the
+// terminating mixture draw; it jumps the RNG state past the n skipped
+// draws (rng.jump; the SplitMix64 state after n draws is state +
+// n*smGamma, pinned by FuzzFastForwardStateJump), advances the PC walk
+// in O(1) (advancePC) and then materialises the terminating non-ALU
+// record with the exact per-draw logic. Everything after the
+// run-length shortcut mirrors FillEvents' record arm line for line and
+// must stay in lockstep with it; the pairing is pinned statistically
+// by TestFastForwardRunLengthDistribution and
+// experiments.ValidateTiers.
+func (g *Generator) fillEventsFF(evs []Event) {
+	cfg := &g.cfg
+	rng := g.rng
+	curPC := g.curPC
+	pattern := g.pattern
+	memCount := g.memCount
+	strmPos := g.strmPos
+	lineBytes := uint64(cfg.LineBytes)
+	codeBase := g.codeBase
+	codeLimit := codeBase + uint64(cfg.CodeLines)*lineBytes
+	memFrac := cfg.MemFrac
+	branchCut := cfg.MemFrac + cfg.BranchFrac
+	streamFrac := cfg.StreamFrac
+	hugeCut := cfg.StreamFrac + cfg.HugeFrac
+	period, halfPeriod := phaseBounds(cfg.PhasePeriod, g.halfPeriod)
+	phasePos := memCount % period
+	tab := g.ffTab
+	var emitted uint64
+
+	for i := range evs {
+		ev := &evs[i]
+		ev.ALUPC = curPC
+		run := 0
+		var x float64
+		switch {
+		case branchCut >= 1:
+			// No ALU instructions in the mix: every draw terminates.
+			x = rng.float() * branchCut
+		case len(tab) == 0:
+			// Pure-ALU mix — including a non-ALU fraction so small it
+			// underflows 1-branchCut to exactly 1.0, for which
+			// NewGenerator builds no table (its guard is this arm's
+			// mirror): the run never terminates at float precision;
+			// deliver capped record-less events like the exact tier.
+			run = MaxALURun
+		default:
+			// Geometric inversion: one uniform draw walks the tabulated
+			// CDF — u lands in [lo, cum) of exactly one entry, selecting
+			// the run length with P(run = k) = pALU^k * (1-pALU), and
+			// its position inside the slice rescales to the terminating
+			// mixture draw (uniform [0, branchCut), independent of the
+			// run length — the leftover randomness of u, so the event
+			// costs one draw however long the run). The rare
+			// beyond-table tail falls back to the closed form.
+			u := rng.float()
+			for run < len(tab) && u >= tab[run].cum {
+				run++
+			}
+			if run < len(tab) {
+				e := &tab[run]
+				x = (u - e.lo) * e.scale
+			} else {
+				if r := math.Log1p(-u) / g.ffLogALU; r >= MaxALURun {
+					run = MaxALURun
+				} else {
+					run = int(r)
+				}
+				x = rng.float() * branchCut
+			}
+		}
+		if run > 0 {
+			// Jump the RNG past the draws the run would have consumed
+			// and the PC walk past its sequential advances (in-line for
+			// the common within-region case).
+			rng.jump(uint64(run))
+			if adv := uint64(run) * 4; curPC+adv < codeLimit {
+				curPC += adv
+			} else {
+				curPC = advancePC(curPC, codeBase, codeLimit, uint64(run))
+			}
+		}
+		ev.ALURun = run
+		emitted += uint64(run)
+		if run == MaxALURun {
+			// Capped: no terminating record; the next event continues
+			// the run (geometric runs are memoryless, so a fresh sample
+			// is distributed exactly like the exact tier's continuation).
+			ev.HasRec = false
+			continue
+		}
+		ev.HasRec = true
+		emitted++
+		// From here on the record materialisation is FillEvents' arm
+		// verbatim, consuming x as the run-terminating draw.
+		r := &ev.Rec
+		r.PC = curPC
+		if x < memFrac {
+			// Memory access: load or store with an address drawn from
+			// the stream/huge/working-set mixture.
+			memCount++
+			if phasePos++; phasePos == period {
+				phasePos = 0
+			}
+			if rng.float() < cfg.StoreFrac {
+				r.Kind = KindStore
+			} else {
+				r.Kind = KindLoad
+			}
+			y := rng.float()
+			var line uint64
+			switch {
+			case y < streamFrac:
+				strmPos++
+				line = g.strmBase + strmPos
+			case y < hugeCut:
+				line = g.hugeBase + uint64(rng.intn(cfg.HugeLines))
+			default:
+				// Working sets: pick one by weight, index uniformly
+				// within the currently-active fraction of its footprint
+				// (precomputed per phase; sweep positions maintained
+				// division-free — see the Generator fast-path fields).
+				z := rng.float()
+				idx := len(g.wsCum) - 1
+				for k, c := range g.wsCum {
+					if z < c {
+						idx = k
+						break
+					}
+				}
+				active := g.wsActiveFull[idx]
+				if phasePos >= halfPeriod {
+					active = g.wsActiveSmall[idx]
+				}
+				if cfg.WorkingSets[idx].Sweep {
+					g.wsPos[idx]++
+					pos := g.wsSweepPos[idx] + 1
+					if g.wsActiveCur[idx] != active {
+						g.wsActiveCur[idx] = active
+						pos = g.wsPos[idx] % uint64(active)
+					} else if pos >= uint64(active) {
+						pos = 0
+					}
+					g.wsSweepPos[idx] = pos
+					line = g.wsBase[idx] + pos
+				} else {
+					line = g.wsBase[idx] + uint64(rng.intn(active))
+				}
+			}
+			r.Addr = line * lineBytes
+		} else {
+			// Branch with a partially-predictable outcome: drawn from a
+			// 64-bit pattern register (learnable by gshare), flipped
+			// randomly with probability BranchNoise.
+			r.Kind = KindBranch
+			bit := pattern & 1
+			pattern = pattern>>1 | (pattern&1^pattern>>3&1)<<63 // LFSR-ish
+			taken := bit == 1
+			if rng.float() < cfg.BranchNoise {
+				taken = rng.next()&1 == 0
+			}
+			r.Taken = taken
+		}
+		if r.Kind == KindBranch && r.Taken {
+			// Jump to the start of a uniformly-chosen line of the region.
+			curPC = codeBase + uint64(rng.intn(cfg.CodeLines))*lineBytes
+		} else {
+			curPC += 4
+			if curPC >= codeLimit {
+				curPC = codeBase
+			}
+		}
+	}
+
+	g.rng = rng
+	g.curPC = curPC
+	g.pattern = pattern
+	g.memCount = memCount
+	g.strmPos = strmPos
+	g.emitted += emitted
+}
+
+// advancePC advances a sequential PC walk (pc += 4, wrapping from
+// limit to base) by steps instructions in O(1): the exact final PC the
+// per-step walk reaches, for any alignment of pc or the region bounds
+// (pinned against the literal walk by TestAdvancePCMatchesWalk).
+func advancePC(pc, base, limit uint64, steps uint64) uint64 {
+	if steps == 0 {
+		return pc
+	}
+	// Steps until the walk wraps to base (pc < limit always holds).
+	toWrap := (limit - pc + 3) / 4
+	if steps < toWrap {
+		return pc + 4*steps
+	}
+	steps -= toWrap
+	cycle := (limit - base + 3) / 4
+	// Runs shorter than the code region — the common case — finish
+	// within one lap after the wrap; only multi-lap runs pay the
+	// runtime 64-bit division.
+	if steps >= cycle {
+		steps %= cycle
+	}
+	return base + 4*steps
+}

@@ -1,0 +1,389 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFidelityStringParse(t *testing.T) {
+	for _, f := range []Fidelity{FidelityExact, FidelityFastForward} {
+		got, err := ParseFidelity(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFidelity(%q) = %v, %v", f.String(), got, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ParseFidelity("bogus"); err == nil {
+		t.Fatal("ParseFidelity accepted an unknown tier")
+	}
+	if err := Fidelity(7).Validate(); err == nil {
+		t.Fatal("Validate accepted an unknown tier")
+	}
+	cfg := baseConfig()
+	cfg.Fidelity = Fidelity(7)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("Config.Validate accepted an unknown fidelity")
+	}
+}
+
+// TestAdvancePCMatchesWalk pins the O(1) PC advance against the
+// literal per-step walk (pc += 4, wrap from limit to base) across
+// region shapes, starting offsets and step counts, including bounds
+// not divisible by 4.
+func TestAdvancePCMatchesWalk(t *testing.T) {
+	walk := func(pc, base, limit uint64, steps uint64) uint64 {
+		for i := uint64(0); i < steps; i++ {
+			pc += 4
+			if pc >= limit {
+				pc = base
+			}
+		}
+		return pc
+	}
+	cases := []struct{ base, size uint64 }{
+		{0x1000, 64}, {0x1000, 4}, {0x40, 6}, {0x80, 129}, {0, 256},
+	}
+	for _, c := range cases {
+		limit := c.base + c.size
+		for pc := c.base; pc < limit; pc += 4 {
+			for _, steps := range []uint64{0, 1, 2, 3, 7, 31, 64, 200, 1000} {
+				want := walk(pc, c.base, limit, steps)
+				got := advancePC(pc, c.base, limit, steps)
+				if got != want {
+					t.Fatalf("advancePC(%#x, %#x, %#x, %d) = %#x, want %#x",
+						pc, c.base, limit, steps, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFastForwardDeterministic pins the tier's reproducibility: two
+// FastForward generators with the same config produce byte-identical
+// event streams, and a fresh pair re-produces them again.
+func TestFastForwardDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Fidelity = FidelityFastForward
+	a, b := NewGenerator(cfg), NewGenerator(cfg)
+	var ea, eb Event
+	for i := 0; i < 5000; i++ {
+		a.NextEvent(&ea)
+		b.NextEvent(&eb)
+		if ea != eb {
+			t.Fatalf("event %d diverged: %+v != %+v", i, ea, eb)
+		}
+	}
+	if a.Emitted() != b.Emitted() {
+		t.Fatalf("Emitted diverged: %d != %d", a.Emitted(), b.Emitted())
+	}
+}
+
+// TestFastForwardPureALUCap pins the capped-event contract at the
+// FastForward tier: a memory- and branch-free mix is an endless ALU
+// run delivered as record-less MaxALURun events, exactly like the
+// exact tier's (TestEventRunCap), with the PC walk wrapping in step.
+func TestFastForwardPureALUCap(t *testing.T) {
+	cfg := Config{StreamFrac: 1, LineBytes: 64, CodeLines: 2, Seed: 9, Fidelity: FidelityFastForward}
+	g := NewGenerator(cfg)
+	base, _ := g.CodeBounds()
+	var ev Event
+	for i := 0; i < 2; i++ {
+		g.NextEvent(&ev)
+		if ev.HasRec || ev.ALURun != MaxALURun {
+			t.Fatalf("pure-ALU event %d = {run %d hasRec %v}, want capped run %d",
+				i, ev.ALURun, ev.HasRec, MaxALURun)
+		}
+		// 2 lines of 16 instructions: every 65536-instruction run lands
+		// back on the base.
+		if ev.ALUPC != base {
+			t.Fatalf("run %d starts at %#x, want %#x", i, ev.ALUPC, base)
+		}
+	}
+	if g.Emitted() != 2*MaxALURun {
+		t.Fatalf("Emitted = %d, want %d", g.Emitted(), 2*MaxALURun)
+	}
+}
+
+// TestFastForwardTinyTerminatorFraction is the regression test for
+// the sampler-guard mismatch: a valid config whose non-ALU fraction
+// is so small that 1-branchCut rounds to exactly 1.0 builds no CDF
+// table, and the sampler must treat it as pure-ALU (capped record-
+// less events) instead of dividing by the zero log and emitting a
+// garbage negative run.
+func TestFastForwardTinyTerminatorFraction(t *testing.T) {
+	cfg := Config{MemFrac: 1e-17, StoreFrac: 0.5, LineBytes: 64, CodeLines: 2, Seed: 3,
+		WorkingSets: []WS{{Lines: 16, Weight: 1}},
+		Fidelity:    FidelityFastForward}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(cfg)
+	var ev Event
+	for i := 0; i < 4; i++ {
+		g.NextEvent(&ev)
+		if ev.ALURun != MaxALURun || ev.HasRec {
+			t.Fatalf("event %d = {run %d hasRec %v}, want capped pure-ALU run %d",
+				i, ev.ALURun, ev.HasRec, MaxALURun)
+		}
+	}
+	if g.Emitted() != 4*MaxALURun {
+		t.Fatalf("Emitted = %d, want %d", g.Emitted(), 4*MaxALURun)
+	}
+}
+
+// TestFastForwardNoALUBitIdenticalTerminators pins the terminator-
+// materialisation arm of fillEventsFF bit-exactly against the exact
+// tier: with MemFrac+BranchFrac summing to exactly 1.0 no ALU runs
+// exist, both tiers consume one draw per event (FastForward scales it
+// by branchCut == 1.0, a float no-op), and every downstream draw —
+// store/address mixture, sweeps, phases, branch pattern, PC updates —
+// must match byte for byte. This is the lockstep guard for the copied
+// record arm (the FillEvents copy is pinned by
+// FuzzEventStreamMatchesNext); a behavioural edit to one copy but not
+// the other trips it deterministically, not statistically.
+func TestFastForwardNoALUBitIdenticalTerminators(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MemFrac, cfg.BranchFrac = 0.75, 0.25 // sums to exactly 1.0 in float64
+	cfg.PhasePeriod = 64
+	cfg.PhaseDepth = 0.25
+	cfg.CodeLines = 24
+	cfg.WorkingSets = append(cfg.WorkingSets, WS{Lines: 512, Weight: 2, Sweep: true})
+	exact := NewGenerator(cfg)
+	cfg.Fidelity = FidelityFastForward
+	ff := NewGenerator(cfg)
+	var ee, fe Event
+	for i := 0; i < 20000; i++ {
+		exact.NextEvent(&ee)
+		ff.NextEvent(&fe)
+		if ee != fe {
+			t.Fatalf("event %d diverged:\nexact: %+v\nff:    %+v", i, ee, fe)
+		}
+	}
+	if exact.Emitted() != ff.Emitted() {
+		t.Fatalf("Emitted diverged: %d != %d", exact.Emitted(), ff.Emitted())
+	}
+}
+
+// TestFastForwardNoALUMix pins the degenerate run-free mix
+// (MemFrac+BranchFrac == 1): every event is a bare terminating record,
+// as at the exact tier.
+func TestFastForwardNoALUMix(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MemFrac, cfg.BranchFrac = 0.7, 0.3
+	cfg.Fidelity = FidelityFastForward
+	g := NewGenerator(cfg)
+	var ev Event
+	for i := 0; i < 1000; i++ {
+		g.NextEvent(&ev)
+		if ev.ALURun != 0 || !ev.HasRec {
+			t.Fatalf("event %d = {run %d hasRec %v}, want bare record", i, ev.ALURun, ev.HasRec)
+		}
+		if ev.Rec.Kind == KindALU {
+			t.Fatalf("event %d materialised an ALU terminator", i)
+		}
+	}
+	if g.Emitted() != 1000 {
+		t.Fatalf("Emitted = %d, want 1000", g.Emitted())
+	}
+}
+
+// TestFastForwardAllocationFree extends the hot-path pinning
+// discipline to the FastForward event path.
+func TestFastForwardAllocationFree(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Fidelity = FidelityFastForward
+	g := NewGenerator(cfg)
+	var ev Event
+	if n := testing.AllocsPerRun(1000, func() {
+		g.NextEvent(&ev)
+	}); n != 0 {
+		t.Fatalf("FastForward NextEvent allocates %v per event, want 0", n)
+	}
+}
+
+// harvestEvents drains events until total instructions crosses budget,
+// returning the run-length histogram (index MaxRun+1 is the overflow
+// tail) and per-kind terminator counts.
+func harvestEvents(g *Generator, budget uint64, maxRun int) (runs []uint64, kinds [4]uint64) {
+	runs = make([]uint64, maxRun+2)
+	var ev Event
+	for total := uint64(0); total < budget; {
+		g.NextEvent(&ev)
+		total += uint64(ev.ALURun)
+		if ev.HasRec {
+			total++
+			kinds[ev.Rec.Kind]++
+			if ev.ALURun > maxRun {
+				runs[maxRun+1]++
+			} else {
+				runs[ev.ALURun]++
+			}
+		}
+		// Capped record-less events are run continuations, not complete
+		// geometric samples; both tiers produce them identically rarely
+		// at these mixes, so they are excluded from the histogram.
+	}
+	return runs, kinds
+}
+
+// chiSquaredTwoSample computes the two-sample homogeneity statistic
+// over the given histograms, merging sparse bins (combined count < 40)
+// into their right neighbour, and returns (statistic, degrees of
+// freedom).
+func chiSquaredTwoSample(o1, o2 []uint64) (float64, int) {
+	var m1, m2 []float64
+	var acc1, acc2 float64
+	for i := range o1 {
+		acc1 += float64(o1[i])
+		acc2 += float64(o2[i])
+		if acc1+acc2 >= 40 {
+			m1 = append(m1, acc1)
+			m2 = append(m2, acc2)
+			acc1, acc2 = 0, 0
+		}
+	}
+	if acc1+acc2 > 0 && len(m1) > 0 {
+		m1[len(m1)-1] += acc1
+		m2[len(m2)-1] += acc2
+	}
+	var n1, n2 float64
+	for i := range m1 {
+		n1 += m1[i]
+		n2 += m2[i]
+	}
+	var chi2 float64
+	for i := range m1 {
+		tot := m1[i] + m2[i]
+		if tot == 0 {
+			continue
+		}
+		e1 := tot * n1 / (n1 + n2)
+		e2 := tot * n2 / (n1 + n2)
+		chi2 += (m1[i]-e1)*(m1[i]-e1)/e1 + (m2[i]-e2)*(m2[i]-e2)/e2
+	}
+	return chi2, len(m1) - 1
+}
+
+// chi2Threshold approximates the chi-squared critical value at
+// p ~ 1e-3 for df degrees of freedom (Wilson-Hilferty); the test is
+// deterministic (fixed seeds), so the significance level only
+// calibrates how much distribution drift a future regression may
+// introduce before the test trips.
+func chi2Threshold(df int) float64 {
+	d := float64(df)
+	z := 3.09 // ~p=0.001 one-sided normal quantile
+	return d * math.Pow(1-2/(9*d)+z*math.Sqrt(2/(9*d)), 3)
+}
+
+// TestFastForwardRunLengthDistribution is the tier's distribution
+// test: ALU run lengths sampled directly from the geometric CDF
+// (FastForward) are compared against run lengths harvested from the
+// per-draw exact walk over many seeds with a two-sample chi-squared
+// test, for a short-run and a long-run mix. The terminator kind mix
+// (load/store/branch) is checked the same way.
+func TestFastForwardRunLengthDistribution(t *testing.T) {
+	mixes := []struct {
+		name    string
+		mem, br float64
+		maxRun  int
+		perSeed uint64
+	}{
+		{name: "short-runs", mem: 0.30, br: 0.15, maxRun: 30, perSeed: 200_000},
+		{name: "long-runs", mem: 0.06, br: 0.04, maxRun: 120, perSeed: 400_000},
+	}
+	for _, mix := range mixes {
+		t.Run(mix.name, func(t *testing.T) {
+			cfg := baseConfig()
+			cfg.MemFrac, cfg.BranchFrac = mix.mem, mix.br
+			exRuns := make([]uint64, mix.maxRun+2)
+			ffRuns := make([]uint64, mix.maxRun+2)
+			var exKinds, ffKinds [4]uint64
+			for seed := uint64(1); seed <= 8; seed++ {
+				cfg.Seed = seed
+				cfg.Fidelity = FidelityExact
+				r, k := harvestEvents(NewGenerator(cfg), mix.perSeed, mix.maxRun)
+				for i := range r {
+					exRuns[i] += r[i]
+				}
+				for i := range k {
+					exKinds[i] += k[i]
+				}
+				cfg.Fidelity = FidelityFastForward
+				r, k = harvestEvents(NewGenerator(cfg), mix.perSeed, mix.maxRun)
+				for i := range r {
+					ffRuns[i] += r[i]
+				}
+				for i := range k {
+					ffKinds[i] += k[i]
+				}
+			}
+			chi2, df := chiSquaredTwoSample(exRuns, ffRuns)
+			if limit := chi2Threshold(df); chi2 > limit {
+				t.Fatalf("run-length chi-squared = %.1f (df %d) above %.1f\nexact: %v\nff:    %v",
+					chi2, df, limit, exRuns, ffRuns)
+			}
+			if exKinds[KindALU] != 0 || ffKinds[KindALU] != 0 {
+				t.Fatal("ALU terminator materialised")
+			}
+			kchi2, kdf := chiSquaredTwoSample(exKinds[KindLoad:], ffKinds[KindLoad:])
+			if limit := chi2Threshold(kdf); kchi2 > limit {
+				t.Fatalf("terminator-kind chi-squared = %.1f (df %d) above %.1f\nexact: %v\nff:    %v",
+					kchi2, kdf, limit, exKinds, ffKinds)
+			}
+		})
+	}
+}
+
+// benchNextEvent drives the event stream of cfg and reports ns per
+// instruction.
+func benchNextEvent(b *testing.B, cfg Config) {
+	b.Helper()
+	g := NewGenerator(cfg)
+	var ev Event
+	b.ReportAllocs()
+	b.ResetTimer()
+	records := 0
+	for i := 0; i < b.N; i += records {
+		g.NextEvent(&ev)
+		records = ev.ALURun
+		if ev.HasRec {
+			records++
+		}
+		if records == 0 {
+			records = 1
+		}
+	}
+}
+
+// BenchmarkNextEventFastForward is BenchmarkNextEvent at the
+// FastForward tier: ns/op is per instruction, so the two benches
+// quantify what skipping the ALU-run draws buys at the generator. At
+// the paper's mixes (ALU fraction ~0.5, mean run ~1) the saved draws
+// roughly pay for the geometric draw, so the pair sits at parity; the
+// LongRuns pair below shows the tier's scaling as runs lengthen.
+func BenchmarkNextEventFastForward(b *testing.B) {
+	cfg := baseConfig()
+	cfg.Fidelity = FidelityFastForward
+	benchNextEvent(b, cfg)
+}
+
+// longRunConfig is an ALU-heavy mix (90% ALU, mean run ~9): the
+// regime where per-draw run walking dominates generation and the O(1)
+// fast-forward pays off per skipped draw.
+func longRunConfig() Config {
+	cfg := baseConfig()
+	cfg.MemFrac, cfg.BranchFrac = 0.06, 0.04
+	return cfg
+}
+
+func BenchmarkNextEventLongRuns(b *testing.B) {
+	benchNextEvent(b, longRunConfig())
+}
+
+func BenchmarkNextEventLongRunsFastForward(b *testing.B) {
+	cfg := longRunConfig()
+	cfg.Fidelity = FidelityFastForward
+	benchNextEvent(b, cfg)
+}
