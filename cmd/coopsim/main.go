@@ -7,7 +7,7 @@
 //
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
 //	        [-scale test|full] [-seed 1] [-compare] [-workers N]
-//	        [-fidelity exact|fastforward]
+//	        [-fidelity exact|fastforward] [-cache-dir DIR]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -compare, all five schemes run on the group and a comparison
@@ -25,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -34,7 +35,7 @@ func main() {
 		"LLC scheme: Unmanaged, FairShare, DynCPE, UCP or CoopPart")
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
 		"Cooperative Partitioning takeover threshold T (0..1)")
-	scaleName := flag.String("scale", "test", "simulation scale: test or full")
+	scaleName := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compare := flag.Bool("compare", false, "run every scheme and print a comparison")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
@@ -42,6 +43,8 @@ func main() {
 		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -60,19 +63,24 @@ func main() {
 	}
 	var scale sim.Scale
 	switch *scaleName {
+	case "unit":
+		scale = sim.UnitScale()
 	case "test":
 		scale = sim.TestScale()
 	case "full":
 		scale = sim.FullScale()
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+		fatal(fmt.Errorf("unknown scale %q (unit, test or full)", *scaleName))
 	}
 	fid, err := sim.ParseFidelity(*fidelity)
 	if err != nil {
 		fatal(err)
 	}
+	st := store.OpenCLI(*cacheDir, "coopsim")
+	defer st.ReportStats("coopsim")
 	runner := experiments.NewRunner(experiments.Config{
 		Scale: scale, Seed: *seed, Threshold: *threshold, Workers: *workers, Fidelity: fid,
+		Store: st,
 	})
 
 	if *compare {

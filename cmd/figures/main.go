@@ -5,7 +5,8 @@
 // Usage:
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
-//	        [-fidelity exact|fastforward] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	        [-fidelity exact|fastforward] [-cache-dir DIR]
+//	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
 //
 // Without -fig, every data figure (5-16) is printed. Figures 1-4 are
@@ -26,11 +27,12 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
 	fig := flag.Int("fig", 0, "figure number (5-16; 0 = all)")
-	scale := flag.String("scale", "test", "simulation scale: test or full")
+	scale := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
@@ -43,6 +45,8 @@ func main() {
 	sweepGroups := flag.Int("sweep-groups", 0, "groups per core count in the sweep (0 = all)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -63,8 +67,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	st := store.OpenCLI(*cacheDir, "figures")
+	defer st.ReportStats("figures")
 	r := experiments.NewRunner(experiments.Config{
 		Scale: sc, Seed: *seed, Threshold: *threshold, Workers: *workers, Fidelity: fid,
+		Store: st,
 	})
 
 	if *sweep != "" {
@@ -132,12 +139,14 @@ func parseCores(s string) ([]int, error) {
 
 func scaleByName(name string) (sim.Scale, error) {
 	switch name {
+	case "unit":
+		return sim.UnitScale(), nil
 	case "test":
 		return sim.TestScale(), nil
 	case "full":
 		return sim.FullScale(), nil
 	default:
-		return sim.Scale{}, fmt.Errorf("unknown scale %q (test or full)", name)
+		return sim.Scale{}, fmt.Errorf("unknown scale %q (unit, test or full)", name)
 	}
 }
 

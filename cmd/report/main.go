@@ -6,7 +6,8 @@
 // Usage:
 //
 //	report [-out report] [-scale test|full] [-seed 1] [-workers N]
-//	       [-fidelity exact|fastforward] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	       [-fidelity exact|fastforward] [-cache-dir DIR]
+//	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -20,17 +21,20 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/prof"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
 	out := flag.String("out", "report", "output directory")
-	scaleName := flag.String("scale", "test", "simulation scale: test or full")
+	scaleName := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	fidelity := flag.String("fidelity", "exact",
 		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -45,12 +49,14 @@ func main() {
 
 	var scale sim.Scale
 	switch *scaleName {
+	case "unit":
+		scale = sim.UnitScale()
 	case "test":
 		scale = sim.TestScale()
 	case "full":
 		scale = sim.FullScale()
 	default:
-		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+		fatal(fmt.Errorf("unknown scale %q (unit, test or full)", *scaleName))
 	}
 	fid, err := sim.ParseFidelity(*fidelity)
 	if err != nil {
@@ -59,8 +65,11 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	st := store.OpenCLI(*cacheDir, "report")
+	defer st.ReportStats("report")
 	r := experiments.NewRunner(experiments.Config{
 		Scale: scale, Seed: *seed, Workers: *workers, Fidelity: fid,
+		Store: st,
 	})
 
 	md, err := os.Create(filepath.Join(*out, "report.md"))

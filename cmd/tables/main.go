@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	tables [-table N] [-scale test|full] [-seed N] [-workers N]
+//	tables [-table N] [-scale test|full] [-seed N] [-workers N] [-cache-dir DIR]
 //
 // Without -table, all four tables are printed.
 package main
@@ -14,20 +14,25 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
 	table := flag.Int("table", 0, "table number (1-4; 0 = all)")
-	scale := flag.String("scale", "test", "simulation scale: test or full")
+	scale := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	flag.Parse()
 
 	sc, err := scaleByName(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Workers: *workers})
+	st := store.OpenCLI(*cacheDir, "tables")
+	defer st.ReportStats("tables")
+	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Workers: *workers, Store: st})
 
 	run := func(n int) error {
 		switch n {
@@ -65,12 +70,14 @@ func main() {
 
 func scaleByName(name string) (sim.Scale, error) {
 	switch name {
+	case "unit":
+		return sim.UnitScale(), nil
 	case "test":
 		return sim.TestScale(), nil
 	case "full":
 		return sim.FullScale(), nil
 	default:
-		return sim.Scale{}, fmt.Errorf("unknown scale %q (test or full)", name)
+		return sim.Scale{}, fmt.Errorf("unknown scale %q (unit, test or full)", name)
 	}
 }
 

@@ -12,6 +12,7 @@
 //	tiercheck [-scale unit|test|full] [-seeds 5] [-seed-base 1]
 //	          [-groups N] [-threshold T] [-gap-fraction 0.5]
 //	          [-gap-floor 0.02] [-workers N] [-json report.json]
+//	          [-cache-dir DIR]
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -36,6 +38,8 @@ func main() {
 		"scheme pairs closer than this are near-ties excluded from the gap")
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
 	jsonOut := flag.String("json", "", "also write the machine-readable report to this file")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	flag.Parse()
 
 	var scale sim.Scale
@@ -57,6 +61,7 @@ func main() {
 		sweep[i] = *seedBase + uint64(i)
 	}
 
+	st := store.OpenCLI(*cacheDir, "tiercheck")
 	report, err := experiments.ValidateTiers(experiments.TierCheckConfig{
 		Scale:       scale,
 		Seeds:       sweep,
@@ -65,7 +70,9 @@ func main() {
 		MaxGroups:   *groups,
 		GapFraction: *gapFraction,
 		GapFloor:    *gapFloor,
+		Store:       st,
 	})
+	st.ReportStats("tiercheck")
 	if err != nil {
 		fatal(err)
 	}

@@ -10,12 +10,14 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -43,6 +45,13 @@ type Config struct {
 	// memoised under distinct keys, so an exact result is never served
 	// to a fast-forward request or vice versa.
 	Fidelity sim.Fidelity
+	// Store is the persistent result cache layered under the in-memory
+	// memo (nil = memory only): lookups go memory → disk → simulate,
+	// and every simulated result is published back. Results are
+	// bit-identical either way — JSON round-trips every field exactly —
+	// and a store fault can only cost recomputation, never correctness
+	// (the store degrades internally and never fails a caller).
+	Store *store.Store
 }
 
 // Variant names a run-configuration mutation of the ablation and
@@ -91,6 +100,10 @@ func applyVariant(cfg *sim.RunConfig, v Variant) error {
 type Runner struct {
 	cfg     Config
 	workers int
+	// scaleFP fingerprints every field of the scale configuration into
+	// the persistent-store key space, so two scales that differ in any
+	// parameter never alias even if they share a name.
+	scaleFP string
 	sims    atomic.Uint64
 
 	runs     flight[runKey, *sim.Results]
@@ -128,7 +141,28 @@ func NewRunner(cfg Config) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{cfg: cfg, workers: workers}
+	r := &Runner{cfg: cfg, workers: workers}
+	if cfg.Store != nil {
+		r.scaleFP = store.Fingerprint(cfg.Scale)
+	}
+	return r
+}
+
+// Store key rendering: the canonical strings the persistent cache is
+// addressed by. Seed and the full scale fingerprint are explicit —
+// the in-memory memo is scoped to one runner (one scale, one seed),
+// the disk store is shared by every process pointed at the directory.
+// Threshold uses the shortest exact float form, so the explicit-zero
+// sentinel and the default threshold stay distinct (DESIGN.md §3).
+func (r *Runner) storeRunKey(k runKey) string {
+	return fmt.Sprintf("run|scale=%s|seed=%d|group=%s|scheme=%s|threshold=%s|variant=%s|fidelity=%s",
+		r.scaleFP, r.cfg.Seed, k.group, k.scheme,
+		strconv.FormatFloat(k.threshold, 'g', -1, 64), k.variant, k.fidelity)
+}
+
+func (r *Runner) storeAloneKey(kind string, k aloneKey) string {
+	return fmt.Sprintf("%s|scale=%s|seed=%d|benchmark=%s|cores=%d|fidelity=%s",
+		kind, r.scaleFP, r.cfg.Seed, k.benchmark, k.cores, k.fidelity)
 }
 
 // Scale returns the runner's simulation scale.
@@ -149,9 +183,20 @@ func (r *Runner) AloneResults(benchmark string, cores int) (*sim.Results, error)
 // aloneResults is the fully keyed solo run: fidelity is part of the
 // memo key so the two tiers' solo IPCs never alias.
 func (r *Runner) aloneResults(benchmark string, cores int, fid sim.Fidelity) (*sim.Results, error) {
-	return r.alone.Do(aloneKey{benchmark, cores, fid}, func() (*sim.Results, error) {
+	key := aloneKey{benchmark, cores, fid}
+	return r.alone.Do(key, func() (*sim.Results, error) {
+		if st := r.cfg.Store; st != nil {
+			var cached sim.Results
+			if st.Get(r.storeAloneKey("alone", key), &cached) {
+				return &cached, nil
+			}
+		}
 		r.sims.Add(1)
-		return sim.RunAloneFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		res, err := sim.RunAloneFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		if err == nil && r.cfg.Store != nil {
+			r.cfg.Store.Put(r.storeAloneKey("alone", key), res)
+		}
+		return res, err
 	})
 }
 
@@ -176,9 +221,20 @@ func (r *Runner) Profile(benchmark string, cores int) (partition.CoreProfile, er
 }
 
 func (r *Runner) profile(benchmark string, cores int, fid sim.Fidelity) (partition.CoreProfile, error) {
-	return r.profiles.Do(aloneKey{benchmark, cores, fid}, func() (partition.CoreProfile, error) {
+	key := aloneKey{benchmark, cores, fid}
+	return r.profiles.Do(key, func() (partition.CoreProfile, error) {
+		if st := r.cfg.Store; st != nil {
+			var cached partition.CoreProfile
+			if st.Get(r.storeAloneKey("profile", key), &cached) {
+				return cached, nil
+			}
+		}
 		r.sims.Add(1)
-		return sim.ProfileBenchmarkFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		p, err := sim.ProfileBenchmarkFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		if err == nil && r.cfg.Store != nil {
+			r.cfg.Store.Put(r.storeAloneKey("profile", key), p)
+		}
+		return p, err
 	})
 }
 
@@ -209,6 +265,14 @@ func (r *Runner) RunGroupVariant(g workload.Group, scheme sim.SchemeKind, thresh
 func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, threshold float64, v Variant, fid sim.Fidelity) (*sim.Results, error) {
 	key := runKey{g.Name, scheme, threshold, v, fid}
 	return r.runs.Do(key, func() (*sim.Results, error) {
+		if st := r.cfg.Store; st != nil {
+			var cached sim.Results
+			if st.Get(r.storeRunKey(key), &cached) {
+				// A disk hit also skips the DynCPE profile runs the
+				// simulation would have needed.
+				return &cached, nil
+			}
+		}
 		cfg := sim.RunConfig{
 			Scale:     r.cfg.Scale,
 			Scheme:    scheme,
@@ -230,7 +294,11 @@ func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, thres
 			}
 		}
 		r.sims.Add(1)
-		return sim.Run(cfg)
+		res, err := sim.Run(cfg)
+		if err == nil && r.cfg.Store != nil {
+			r.cfg.Store.Put(r.storeRunKey(key), res)
+		}
+		return res, err
 	})
 }
 

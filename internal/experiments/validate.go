@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -47,6 +48,9 @@ type TierCheckConfig struct {
 	MaxGroups   int
 	GapFraction float64 // DefaultGapFraction if 0
 	GapFloor    float64 // DefaultGapFloor if 0
+	// Store is the optional persistent result cache (nil = in-memory
+	// only); every per-seed runner of the sweep shares it.
+	Store *store.Store
 }
 
 // TierDelta is one scheme's seed-mean figure value at both tiers.
@@ -137,6 +141,7 @@ func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
 		r := NewRunner(Config{
 			Scale: cfg.Scale, Seed: seed,
 			Threshold: cfg.Threshold, Workers: cfg.Workers,
+			Store: cfg.Store,
 		})
 		// One fan-out per seed: both tiers' (group, scheme) runs plus
 		// Equation 1's tier-matched solo runs and the DynCPE profiles.

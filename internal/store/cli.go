@@ -1,0 +1,36 @@
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// OpenCLI opens the store named by a binary's -cache-dir flag. An
+// empty dir means "no persistent cache" and returns nil, which every
+// consumer accepts (experiments.Config.Store et al. treat nil as
+// in-memory only). An open failure is reported to stderr once and
+// likewise degrades to nil: a broken cache directory must never fail
+// a run that could complete without one.
+func OpenCLI(dir, prog string) *Store {
+	if dir == "" {
+		return nil
+	}
+	s, err := Open(dir, Options{Logf: func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, prog+": "+format+"\n", args...)
+	}})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: store: %v — continuing without persistent cache\n", prog, err)
+		return nil
+	}
+	return s
+}
+
+// ReportStats prints the run's cache counters to stderr (stderr so
+// stdout stays byte-identical with and without a cache). Safe on a
+// nil receiver so binaries can call it unconditionally at exit.
+func (s *Store) ReportStats(prog string) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: store: %s\n", prog, s.Stats())
+}

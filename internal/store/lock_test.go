@@ -1,0 +1,222 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLockContentionGoroutines: two goroutines contend for one key's
+// lock; the loser waits with bounded exponential backoff (asserted via
+// the recorded sleep schedule) and wins after the holder releases.
+func TestLockContentionGoroutines(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t)
+	opts.LockTimeout = 2 * time.Second
+	s := openTest(t, dir, opts)
+
+	var mu sync.Mutex
+	var sleeps []time.Duration
+	orig := sleepFn
+	sleepFn = func(d time.Duration) {
+		mu.Lock()
+		sleeps = append(sleeps, d)
+		mu.Unlock()
+		orig(d)
+	}
+	defer func() { sleepFn = orig }()
+
+	release, err := s.acquireLock("contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		rel, err := s.acquireLock("contended")
+		if err == nil {
+			rel()
+		}
+		acquired <- err
+	}()
+	// Hold long enough for several backoff rounds.
+	time.Sleep(40 * time.Millisecond)
+	release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("second goroutine never acquired: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sleeps) < 2 {
+		t.Fatalf("expected several backoff sleeps, saw %v", sleeps)
+	}
+	for i := 1; i < len(sleeps); i++ {
+		if sleeps[i] < sleeps[i-1] {
+			t.Fatalf("backoff not monotone: %v", sleeps)
+		}
+	}
+	if sleeps[0] != time.Millisecond {
+		t.Fatalf("backoff must start at 1ms, started at %v", sleeps[0])
+	}
+	for _, d := range sleeps {
+		if d > 100*time.Millisecond {
+			t.Fatalf("backoff exceeded its 100ms bound: %v", sleeps)
+		}
+	}
+}
+
+// TestLockTimeoutIsBounded: with a live in-process holder that never
+// releases, acquireLock gives up within ~LockTimeout instead of
+// spinning forever.
+func TestLockTimeoutIsBounded(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t)
+	opts.LockTimeout = 60 * time.Millisecond
+	s := openTest(t, dir, opts)
+	release, err := s.acquireLock("held")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := s.acquireLock("held"); err != errLockTimeout {
+		t.Fatalf("err = %v, want errLockTimeout", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("timeout took %v, bound is ~60ms + final backoff", took)
+	}
+}
+
+// TestPIDReuseGuard: a lock naming a live PID but the wrong boot-time
+// ticks is a recycled PID and is reclaimed; with the right ticks (and
+// a different live process) it is held.
+func TestPIDReuseGuard(t *testing.T) {
+	if _, ok := bootTicksOf(os.Getpid()); !ok {
+		t.Skip("/proc start-time introspection unavailable")
+	}
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions(t))
+	lockPath := filepath.Join(dir, "locks", "x.lock")
+
+	// A live non-self process with recorded ticks: init (pid 1).
+	ticks, ok := bootTicksOf(1)
+	if ok && processAlive(1) {
+		write := func(ticks uint64) {
+			if err := os.WriteFile(lockPath,
+				[]byte(fmt.Sprintf(`{"pid":1,"boot_ticks":%d}`, ticks)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write(ticks)
+		if s.lockIsStale(lockPath) {
+			t.Fatal("lock of a live process with matching start time reclaimed")
+		}
+		write(ticks + 12345)
+		if !s.lockIsStale(lockPath) {
+			t.Fatal("recycled-PID lock (start-time mismatch) not reclaimed")
+		}
+	}
+
+	// Our own PID is always "alive", whatever the ticks say — the
+	// same-process path never consults them.
+	if err := os.WriteFile(lockPath,
+		[]byte(fmt.Sprintf(`{"pid":%d,"boot_ticks":1}`, os.Getpid())), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if s.lockIsStale(lockPath) {
+		t.Fatal("own-process lock considered stale")
+	}
+}
+
+// helperEnv points TestHelperLockHolder at a store dir; unset, the
+// helper is skipped in normal runs.
+const helperEnv = "STORE_LOCK_HELPER_DIR"
+
+// TestHelperLockHolder is the re-exec'd child of the cross-process
+// tests: it takes the contended lock, announces it on stdout, holds it
+// briefly, and releases.
+func TestHelperLockHolder(t *testing.T) {
+	dir := os.Getenv(helperEnv)
+	if dir == "" {
+		t.Skip("helper process entry point")
+	}
+	s, err := Open(dir, Options{Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := s.acquireLock("contended")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("LOCK_HELD")
+	os.Stdout.Sync()
+	time.Sleep(600 * time.Millisecond)
+	release()
+}
+
+// TestLockCrossProcess is the two-process half of the contention
+// satellite: a child process holds the lock; this process must NOT
+// reclaim it (live owner) and must time out — then acquire cleanly
+// once the child exits.
+func TestLockCrossProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(exe, "-test.run=^TestHelperLockHolder$", "-test.v")
+	cmd.Env = append(os.Environ(), helperEnv+"="+dir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Wait()
+
+	held := make(chan bool, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if sc.Text() == "LOCK_HELD" {
+				held <- true
+				return
+			}
+		}
+		held <- false
+	}()
+	select {
+	case ok := <-held:
+		if !ok {
+			t.Fatal("helper exited without taking the lock")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("helper never announced the lock")
+	}
+
+	opts := testOptions(t)
+	opts.LockTimeout = 100 * time.Millisecond
+	s := openTest(t, dir, opts)
+	if _, err := s.acquireLock("contended"); err != errLockTimeout {
+		t.Fatalf("acquire against a live foreign holder: err = %v, want timeout (never reclaim a live lock)", err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper failed: %v", err)
+	}
+	// Holder exited and released: acquisition must now succeed.
+	release, err := s.acquireLock("contended")
+	if err != nil {
+		t.Fatalf("acquire after holder exit: %v", err)
+	}
+	release()
+}

@@ -1,0 +1,319 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// payload is a stand-in for sim.Results: a mix of the field shapes the
+// store round-trips (floats must survive bit-exactly).
+type payload struct {
+	Name   string
+	IPC    []float64
+	Cycles int64
+	Nested struct {
+		Counts []uint64
+	}
+}
+
+func samplePayload() payload {
+	p := payload{
+		Name:   "G2-8/CoopPart",
+		IPC:    []float64{0.1234567890123456789, 1.0 / 3.0, 2.5e-17},
+		Cycles: 123456789,
+	}
+	p.Nested.Counts = []uint64{1, 2, 1 << 62}
+	return p
+}
+
+// testOptions silences logging and shortens every timeout so fault
+// paths resolve in milliseconds.
+func testOptions(t *testing.T) Options {
+	return Options{
+		Logf:        func(format string, args ...any) { t.Logf("store: "+format, args...) },
+		LockTimeout: 50 * time.Millisecond,
+		StaleAge:    10 * time.Millisecond,
+	}
+}
+
+func openTest(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions(t))
+	want := samplePayload()
+
+	var miss payload
+	if s.Get("k1", &miss) {
+		t.Fatal("Get on empty store hit")
+	}
+	s.Put("k1", want)
+
+	var got payload
+	if !s.Get("k1", &got) {
+		t.Fatal("Get after Put missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+
+	// A second process (fresh Store over the same dir) sees it too.
+	s2 := openTest(t, dir, testOptions(t))
+	got = payload{}
+	if !s2.Get("k1", &got) {
+		t.Fatal("Get from second store missed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cross-store mismatch: %+v", got)
+	}
+
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.CorruptQuarantined != 0 || st.Degraded {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+// findEntry returns the path of the single entry file in the store.
+func findEntry(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "entries"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".entry") {
+			paths = append(paths, filepath.Join(dir, "entries", e.Name()))
+		}
+	}
+	if len(paths) != 1 {
+		t.Fatalf("want exactly 1 entry, found %d", len(paths))
+	}
+	return paths[0]
+}
+
+// TestCorruptEntryQuarantinedExactlyOnce pins the observability
+// contract: a corrupt entry is quarantined and counted exactly once,
+// reads keep working, and a recompute-Put repairs the address.
+func TestCorruptEntryQuarantinedExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions(t))
+	want := samplePayload()
+	s.Put("k1", want)
+
+	// Flip one payload byte on disk.
+	path := findEntry(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, testOptions(t))
+	var got payload
+	if s2.Get("k1", &got) {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := s2.Stats(); st.CorruptQuarantined != 1 {
+		t.Fatalf("after first Get: corrupt-quarantined = %d, want 1", st.CorruptQuarantined)
+	}
+	if s2.Get("k1", &got) {
+		t.Fatal("second Get hit")
+	}
+	if st := s2.Stats(); st.CorruptQuarantined != 1 {
+		t.Fatalf("after second Get: corrupt-quarantined = %d, want exactly 1", st.CorruptQuarantined)
+	}
+
+	// The corpse is in quarantine, not lost.
+	q, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 1 {
+		t.Fatalf("quarantine holds %d files, want 1", len(q))
+	}
+
+	// Recompute-and-Put repairs the address.
+	s2.Put("k1", want)
+	got = payload{}
+	if !s2.Get("k1", &got) || !reflect.DeepEqual(got, want) {
+		t.Fatalf("repaired entry not served: hit=%v got=%+v", got.Name != "", got)
+	}
+	if st := s2.Stats(); st.Degraded {
+		t.Fatal("corruption must not degrade the store")
+	}
+}
+
+// TestVersionMismatchIsMissNotCorrupt: an entry from a different format
+// version reads as a plain miss (no quarantine) and is overwritten by
+// the next Put.
+func TestVersionMismatchIsMissNotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, testOptions(t))
+	s.Put("k1", samplePayload())
+
+	path := findEntry(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), `"version":1`, `"version":99`, 1)
+	if mutated == string(data) {
+		t.Fatal("test could not find version field to mutate")
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTest(t, dir, testOptions(t))
+	var got payload
+	if s2.Get("k1", &got) {
+		t.Fatal("future-version entry served as a hit")
+	}
+	if st := s2.Stats(); st.CorruptQuarantined != 0 {
+		t.Fatalf("version mismatch quarantined: %v", st)
+	}
+	s2.Put("k1", samplePayload())
+	if !s2.Get("k1", &got) {
+		t.Fatal("overwrite after version mismatch did not take")
+	}
+}
+
+// TestWriteFaultDegradesGracefully: ENOSPC on the data write must not
+// fail Put, must mark the key bad (no retry), and must leave no
+// partial entry behind.
+func TestWriteFaultDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	opts := testOptions(t)
+	opts.FS = ffs
+	s := openTest(t, dir, opts)
+
+	// Write op 1 is the lockfile, 2-4 are header/newline/payload: land
+	// the ENOSPC on the payload write.
+	ffs.FailOp(OpWrite, 4, syscall.ENOSPC)
+	s.Put("k1", samplePayload())
+	st := s.Stats()
+	if st.Writes != 0 || st.WriteSkips != 1 || st.Faults != 1 {
+		t.Fatalf("stats after ENOSPC = %v", st)
+	}
+	var got payload
+	if s.Get("k1", &got) {
+		t.Fatal("partial entry visible after failed Put")
+	}
+	ents, err := os.ReadDir(filepath.Join(dir, "entries"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("entries dir holds %d files after failed Put, want 0", len(ents))
+	}
+
+	// The key is bad for this process: the disk is not retried.
+	s.Put("k1", samplePayload())
+	if st := s.Stats(); st.WriteSkips != 2 || st.Faults != 1 {
+		t.Fatalf("bad key retried the disk: %v", st)
+	}
+}
+
+// TestConsecutiveFaultsDisableStore walks the whole degradation
+// ladder: maxFaults consecutive faults flip the store to degraded, and
+// from then on Get/Put are memory-only no-ops that still never fail.
+func TestConsecutiveFaultsDisableStore(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	opts := testOptions(t)
+	opts.FS = ffs
+	opts.MaxFaults = 3
+	s := openTest(t, dir, opts)
+
+	for i := 1; i <= 3; i++ {
+		ffs.FailOp(OpWrite, i, syscall.EIO)
+		s.Put(strings.Repeat("k", i), samplePayload())
+	}
+	st := s.Stats()
+	if !st.Degraded {
+		t.Fatalf("store not degraded after %d consecutive faults: %v", 3, st)
+	}
+	// Degraded store: everything still answers, nothing touches disk.
+	before := ffs.WriteOps()
+	s.Put("fresh", samplePayload())
+	var got payload
+	if s.Get("fresh", &got) {
+		t.Fatal("degraded store claimed a hit")
+	}
+	if ffs.WriteOps() != before {
+		t.Fatal("degraded store still issued write syscalls")
+	}
+}
+
+// TestSuccessResetsFaultLadder: intermittent faults with successes in
+// between never disable the store.
+func TestSuccessResetsFaultLadder(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{})
+	opts := testOptions(t)
+	opts.FS = ffs
+	opts.MaxFaults = 2
+	s := openTest(t, dir, opts)
+
+	ffs.FailOp(OpWrite, 1, syscall.EIO)
+	s.Put("bad1", samplePayload()) // fault 1
+	s.Put("ok", samplePayload())   // success resets the ladder
+	ffs.FailOp(OpWrite, ffs.OpCount(OpWrite)+1, syscall.EIO)
+	s.Put("bad2", samplePayload()) // a fresh fault 1, not fault 2
+	if st := s.Stats(); st.Degraded {
+		t.Fatalf("store degraded despite interleaved successes: %v", st)
+	}
+}
+
+// TestOpenFailureIsReported: an unusable root errors out of Open so
+// binaries can log once and run storeless.
+func TestOpenFailureIsReported(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(file, testOptions(t)); err == nil {
+		t.Fatal("Open over a regular file succeeded")
+	}
+}
+
+// TestSweepTmpReapsDeadProcessFiles: leftover temp files from dead
+// pids are removed at Open; live ones are kept.
+func TestSweepTmpReapsDeadProcessFiles(t *testing.T) {
+	dir := t.TempDir()
+	openTest(t, dir, testOptions(t)) // create layout
+	tmp := filepath.Join(dir, "tmp")
+	dead := filepath.Join(tmp, "abc.999999.1.tmp") // pid 999999: beyond default pid_max
+	live := filepath.Join(tmp, "abc."+strconv.Itoa(os.Getpid())+".2.tmp")
+	for _, p := range []string{dead, live} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	openTest(t, dir, testOptions(t))
+	if _, err := os.Stat(dead); !os.IsNotExist(err) {
+		t.Fatal("dead process's tmp file survived the sweep")
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Fatal("live process's tmp file was reaped")
+	}
+}
