@@ -7,7 +7,7 @@
 //
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
 //	        [-scale test|full] [-seed 1] [-compare] [-workers N]
-//	        [-fidelity exact|fastforward] [-cache-dir DIR]
+//	        [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -compare, all five schemes run on the group and a comparison
@@ -22,8 +22,10 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/prof"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workload"
@@ -38,9 +40,12 @@ func main() {
 	scaleName := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	compare := flag.Bool("compare", false, "run every scheme and print a comparison")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	workers := flag.Int("workers", cliutil.DefaultWorkers(),
+		"concurrent simulations (default: one per CPU)")
 	fidelity := flag.String("fidelity", "exact",
 		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
+	server := flag.String("server", "",
+		"expd server URL to fetch results from (empty = compute locally)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	cacheDir := flag.String("cache-dir", "",
@@ -61,27 +66,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var scale sim.Scale
-	switch *scaleName {
-	case "unit":
-		scale = sim.UnitScale()
-	case "test":
-		scale = sim.TestScale()
-	case "full":
-		scale = sim.FullScale()
-	default:
-		fatal(fmt.Errorf("unknown scale %q (unit, test or full)", *scaleName))
+	scale, err := cliutil.Scale(*scaleName)
+	if err != nil {
+		fatal(err)
 	}
-	fid, err := sim.ParseFidelity(*fidelity)
+	fid, err := cliutil.Fidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := cliutil.Workers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	th, err := cliutil.Threshold(*threshold)
 	if err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "coopsim")
 	defer st.ReportStats("coopsim")
-	runner := experiments.NewRunner(experiments.Config{
-		Scale: scale, Seed: *seed, Threshold: *threshold, Workers: *workers, Fidelity: fid,
+	defer store.HandleSignals("coopsim", st)()
+	cl, err := service.OpenCLI(*server, "coopsim")
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.ReportStats("coopsim")
+	cfg := experiments.Config{
+		Scale: scale, Seed: *seed, Threshold: th, Workers: nw, Fidelity: fid,
 		Store: st,
-	})
+	}
+	if cl != nil {
+		cfg.Remote = cl
+	}
+	runner := experiments.NewRunner(cfg)
 
 	if *compare {
 		compareAll(runner, g)

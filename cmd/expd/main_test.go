@@ -1,0 +1,274 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinary compiles one of the repo's commands into dir.
+func buildBinary(t *testing.T, dir, pkg, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startExpd launches a real expd on a free port and waits for
+// readiness. It returns the base URL and the running process.
+func startExpd(t *testing.T, bin, cacheDir string, extra ...string) (string, *exec.Cmd) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	args := append([]string{"-addr", "127.0.0.1:0", "-addr-file", addrFile}, extra...)
+	if cacheDir != "" {
+		args = append(args, "-cache-dir", cacheDir)
+	}
+	cmd := exec.Command(bin, args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			base := "http://" + strings.TrimSpace(string(data))
+			resp, err := http.Get(base + "/readyz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return base, cmd
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expd never became ready; stderr:\n%s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func runClient(bin string, args ...string) ([]byte, []byte, error) {
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	return stdout.Bytes(), stderr.Bytes(), err
+}
+
+// TestServiceEndToEnd is the tentpole's acceptance test with real
+// processes: a figures client against a healthy expd, against an expd
+// SIGKILLed mid-run, and two clients racing on one server must all
+// emit stdout byte-identical to the serverless baseline.
+func TestServiceEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real server and client processes")
+	}
+	binDir := t.TempDir()
+	expd := buildBinary(t, binDir, "repro/cmd/expd", "expd")
+	figures := buildBinary(t, binDir, "repro/cmd/figures", "figures")
+	args := []string{"-fig", "5", "-scale", "unit"}
+
+	baseline, _, err := runClient(figures, args...)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	t.Run("healthy-server", func(t *testing.T) {
+		cacheDir := filepath.Join(t.TempDir(), "cache")
+		base, _ := startExpd(t, expd, cacheDir)
+		out, errOut, err := runClient(figures, append(args, "-server", base)...)
+		if err != nil {
+			t.Fatalf("client run: %v\n%s", err, errOut)
+		}
+		if !bytes.Equal(out, baseline) {
+			t.Fatal("healthy-server output differs from serverless baseline")
+		}
+		// The client must have been served remotely, not have quietly
+		// computed everything itself.
+		se := string(errOut)
+		if !strings.Contains(se, "local-fallbacks=0") || strings.Contains(se, "remote-hits=0") {
+			t.Fatalf("client did not run remotely:\n%s", se)
+		}
+	})
+
+	t.Run("server-killed-mid-sweep", func(t *testing.T) {
+		cacheDir := filepath.Join(t.TempDir(), "cache")
+		base, srv := startExpd(t, expd, cacheDir)
+		// SIGKILL: no drain, no goodbye — the hard half of the
+		// degradation ladder. Kill concurrently with the run so some
+		// requests succeed and the rest fall back.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			time.Sleep(300 * time.Millisecond)
+			srv.Process.Kill()
+			srv.Wait()
+		}()
+		out, errOut, err := runClient(figures, append(args, "-server", base)...)
+		<-done
+		if err != nil {
+			t.Fatalf("client run with killed server: %v\n%s", err, errOut)
+		}
+		if !bytes.Equal(out, baseline) {
+			t.Fatal("killed-server output differs from serverless baseline")
+		}
+	})
+
+	t.Run("two-clients-one-server", func(t *testing.T) {
+		cacheDir := filepath.Join(t.TempDir(), "cache")
+		base, _ := startExpd(t, expd, cacheDir)
+		var wg sync.WaitGroup
+		outs := make([][]byte, 2)
+		errOuts := make([][]byte, 2)
+		errs := make([]error, 2)
+		for i := range outs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				outs[i], errOuts[i], errs[i] = runClient(figures, append(args, "-server", base)...)
+			}()
+		}
+		wg.Wait()
+		for i := range outs {
+			if errs[i] != nil {
+				t.Fatalf("racing client %d: %v\n%s", i, errs[i], errOuts[i])
+			}
+			if !bytes.Equal(outs[i], baseline) {
+				t.Fatalf("racing client %d output differs from baseline", i)
+			}
+		}
+	})
+}
+
+// TestExpdGracefulDrain: SIGTERM must drain and exit cleanly — zero
+// exit status, stats flushed, and no live lockfiles left in the cache.
+func TestExpdGracefulDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon")
+	}
+	binDir := t.TempDir()
+	expd := buildBinary(t, binDir, "repro/cmd/expd", "expd")
+	figures := buildBinary(t, binDir, "repro/cmd/figures", "figures")
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	base, srv := startExpd(t, expd, cacheDir)
+
+	// Give the server some real work first so runners, the store and
+	// its locks have all been exercised.
+	if _, errOut, err := runClient(figures, "-fig", "5", "-scale", "unit", "-server", base); err != nil {
+		t.Fatalf("warmup client: %v\n%s", err, errOut)
+	}
+
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- srv.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("drained expd exited non-zero: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("expd never exited after SIGTERM")
+	}
+	locks, err := os.ReadDir(filepath.Join(cacheDir, "locks"))
+	if err == nil && len(locks) != 0 {
+		t.Fatalf("drained expd left lockfiles: %v", locks)
+	}
+}
+
+// TestFlagValidationFailsFast: every binary rejects nonsensical
+// -workers/-scale/-fidelity/-server values with a non-zero exit and a
+// message naming the problem, before any simulation starts.
+func TestFlagValidationFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the client binaries")
+	}
+	binDir := t.TempDir()
+	bins := map[string]string{
+		"figures":   "repro/cmd/figures",
+		"tables":    "repro/cmd/tables",
+		"report":    "repro/cmd/report",
+		"coopsim":   "repro/cmd/coopsim",
+		"tiercheck": "repro/cmd/tiercheck",
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"workers-zero", []string{"-workers", "0"}, "-workers"},
+		{"workers-negative", []string{"-workers", "-3"}, "-workers"},
+		{"bad-scale", []string{"-scale", "galactic"}, "unknown scale"},
+		{"bad-server", []string{"-server", ":not a url:"}, "URL"},
+	}
+	for name, pkg := range bins {
+		bin := buildBinary(t, binDir, pkg, name)
+		for _, tc := range cases {
+			t.Run(name+"/"+tc.name, func(t *testing.T) {
+				args := tc.args
+				if name == "report" {
+					args = append(args, "-out", t.TempDir())
+				}
+				start := time.Now()
+				_, errOut, err := runClient(bin, args...)
+				if err == nil {
+					t.Fatalf("%s %v exited zero", name, tc.args)
+				}
+				if !strings.Contains(string(errOut), tc.want) {
+					t.Fatalf("%s %v stderr %q does not mention %q", name, tc.args, errOut, tc.want)
+				}
+				if took := time.Since(start); took > 10*time.Second {
+					t.Fatalf("%s %v took %v; validation must fail fast", name, tc.args, took)
+				}
+			})
+		}
+	}
+	// The two binaries with a -fidelity flag reject garbage tiers.
+	for _, name := range []string{"figures", "report", "coopsim"} {
+		t.Run(name+"/bad-fidelity", func(t *testing.T) {
+			bin := filepath.Join(binDir, name)
+			_, errOut, err := runClient(bin, "-fidelity", "approximate")
+			if err == nil {
+				t.Fatalf("%s -fidelity=approximate exited zero", name)
+			}
+			if !strings.Contains(strings.ToLower(string(errOut)), "fidelity") {
+				t.Fatalf("%s stderr %q does not mention fidelity", name, errOut)
+			}
+		})
+	}
+	// expd itself validates too.
+	expd := buildBinary(t, binDir, "repro/cmd/expd", "expd")
+	t.Run("expd/workers-zero", func(t *testing.T) {
+		_, errOut, err := runClient(expd, "-workers", "0")
+		if err == nil {
+			t.Fatal("expd -workers=0 exited zero")
+		}
+		if !strings.Contains(string(errOut), "-workers") {
+			t.Fatalf("expd stderr %q does not mention -workers", errOut)
+		}
+	})
+	t.Run("expd/bad-addr", func(t *testing.T) {
+		_, _, err := runClient(expd, "-addr", "999.999.999.999:0")
+		if err == nil {
+			t.Fatal("expd with bogus -addr exited zero")
+		}
+	})
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
-//	        [-fidelity exact|fastforward] [-cache-dir DIR]
+//	        [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
 //
@@ -23,10 +23,11 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/prof"
-	"repro/internal/sim"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -37,9 +38,12 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
 		"Cooperative Partitioning takeover threshold T")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	workers := flag.Int("workers", cliutil.DefaultWorkers(),
+		"concurrent simulations (default: one per CPU)")
 	fidelity := flag.String("fidelity", "exact",
 		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
+	server := flag.String("server", "",
+		"expd server URL to fetch results from (empty = compute locally)")
 	sweep := flag.String("sweep", "", `sweep to run instead of figures ("scaling")`)
 	sweepCores := flag.String("sweep-cores", "", "comma-separated core counts for -sweep=scaling (default 2,4,8,16)")
 	sweepGroups := flag.Int("sweep-groups", 0, "groups per core count in the sweep (0 = all)")
@@ -59,20 +63,38 @@ func main() {
 		}
 	}()
 
-	sc, err := scaleByName(*scale)
+	sc, err := cliutil.Scale(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	fid, err := sim.ParseFidelity(*fidelity)
+	fid, err := cliutil.Fidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := cliutil.Workers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	th, err := cliutil.Threshold(*threshold)
 	if err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "figures")
 	defer st.ReportStats("figures")
-	r := experiments.NewRunner(experiments.Config{
-		Scale: sc, Seed: *seed, Threshold: *threshold, Workers: *workers, Fidelity: fid,
+	defer store.HandleSignals("figures", st)()
+	cl, err := service.OpenCLI(*server, "figures")
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.ReportStats("figures")
+	cfg := experiments.Config{
+		Scale: sc, Seed: *seed, Threshold: th, Workers: nw, Fidelity: fid,
 		Store: st,
-	})
+	}
+	if cl != nil {
+		cfg.Remote = cl
+	}
+	r := experiments.NewRunner(cfg)
 
 	if *sweep != "" {
 		if *sweep != "scaling" {
@@ -135,19 +157,6 @@ func parseCores(s string) ([]int, error) {
 		counts = append(counts, n)
 	}
 	return counts, nil
-}
-
-func scaleByName(name string) (sim.Scale, error) {
-	switch name {
-	case "unit":
-		return sim.UnitScale(), nil
-	case "test":
-		return sim.TestScale(), nil
-	case "full":
-		return sim.FullScale(), nil
-	default:
-		return sim.Scale{}, fmt.Errorf("unknown scale %q (unit, test or full)", name)
-	}
 }
 
 func fatal(err error) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	report [-out report] [-scale test|full] [-seed 1] [-workers N]
-//	       [-fidelity exact|fastforward] [-cache-dir DIR]
+//	       [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -17,9 +17,11 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/prof"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -28,9 +30,12 @@ func main() {
 	out := flag.String("out", "report", "output directory")
 	scaleName := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	workers := flag.Int("workers", cliutil.DefaultWorkers(),
+		"concurrent simulations (default: one per CPU)")
 	fidelity := flag.String("fidelity", "exact",
 		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
+	server := flag.String("server", "",
+		"expd server URL to fetch results from (empty = compute locally)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	cacheDir := flag.String("cache-dir", "",
@@ -47,18 +52,15 @@ func main() {
 		}
 	}()
 
-	var scale sim.Scale
-	switch *scaleName {
-	case "unit":
-		scale = sim.UnitScale()
-	case "test":
-		scale = sim.TestScale()
-	case "full":
-		scale = sim.FullScale()
-	default:
-		fatal(fmt.Errorf("unknown scale %q (unit, test or full)", *scaleName))
+	scale, err := cliutil.Scale(*scaleName)
+	if err != nil {
+		fatal(err)
 	}
-	fid, err := sim.ParseFidelity(*fidelity)
+	fid, err := cliutil.Fidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := cliutil.Workers(*workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -67,10 +69,20 @@ func main() {
 	}
 	st := store.OpenCLI(*cacheDir, "report")
 	defer st.ReportStats("report")
-	r := experiments.NewRunner(experiments.Config{
-		Scale: scale, Seed: *seed, Workers: *workers, Fidelity: fid,
+	defer store.HandleSignals("report", st)()
+	cl, err := service.OpenCLI(*server, "report")
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.ReportStats("report")
+	cfg := experiments.Config{
+		Scale: scale, Seed: *seed, Workers: nw, Fidelity: fid,
 		Store: st,
-	})
+	}
+	if cl != nil {
+		cfg.Remote = cl
+	}
+	r := experiments.NewRunner(cfg)
 
 	md, err := os.Create(filepath.Join(*out, "report.md"))
 	if err != nil {

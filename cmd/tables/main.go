@@ -3,6 +3,7 @@
 // Usage:
 //
 //	tables [-table N] [-scale test|full] [-seed N] [-workers N] [-cache-dir DIR]
+//	       [-server URL]
 //
 // Without -table, all four tables are printed.
 package main
@@ -12,8 +13,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/sim"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -21,18 +23,35 @@ func main() {
 	table := flag.Int("table", 0, "table number (1-4; 0 = all)")
 	scale := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	workers := flag.Int("workers", cliutil.DefaultWorkers(),
+		"concurrent simulations (default: one per CPU)")
 	cacheDir := flag.String("cache-dir", "",
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
+	server := flag.String("server", "",
+		"expd server URL to fetch results from (empty = compute locally)")
 	flag.Parse()
 
-	sc, err := scaleByName(*scale)
+	sc, err := cliutil.Scale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := cliutil.Workers(*workers)
 	if err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "tables")
 	defer st.ReportStats("tables")
-	r := experiments.NewRunner(experiments.Config{Scale: sc, Seed: *seed, Workers: *workers, Store: st})
+	defer store.HandleSignals("tables", st)()
+	cl, err := service.OpenCLI(*server, "tables")
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.ReportStats("tables")
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: nw, Store: st}
+	if cl != nil {
+		cfg.Remote = cl
+	}
+	r := experiments.NewRunner(cfg)
 
 	run := func(n int) error {
 		switch n {
@@ -65,19 +84,6 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println()
-	}
-}
-
-func scaleByName(name string) (sim.Scale, error) {
-	switch name {
-	case "unit":
-		return sim.UnitScale(), nil
-	case "test":
-		return sim.TestScale(), nil
-	case "full":
-		return sim.FullScale(), nil
-	default:
-		return sim.Scale{}, fmt.Errorf("unknown scale %q (unit, test or full)", name)
 	}
 }
 

@@ -12,7 +12,7 @@
 //	tiercheck [-scale unit|test|full] [-seeds 5] [-seed-base 1]
 //	          [-groups N] [-threshold T] [-gap-fraction 0.5]
 //	          [-gap-floor 0.02] [-workers N] [-json report.json]
-//	          [-cache-dir DIR]
+//	          [-cache-dir DIR] [-server URL]
 package main
 
 import (
@@ -20,8 +20,9 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
-	"repro/internal/sim"
+	"repro/internal/service"
 	"repro/internal/store"
 )
 
@@ -36,22 +37,26 @@ func main() {
 		"pass when max tier delta <= gap-fraction * min between-scheme gap")
 	gapFloor := flag.Float64("gap-floor", experiments.DefaultGapFloor,
 		"scheme pairs closer than this are near-ties excluded from the gap")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = one per CPU)")
+	workers := flag.Int("workers", cliutil.DefaultWorkers(),
+		"concurrent simulations (default: one per CPU)")
 	jsonOut := flag.String("json", "", "also write the machine-readable report to this file")
 	cacheDir := flag.String("cache-dir", "",
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
+	server := flag.String("server", "",
+		"expd server URL to fetch results from (empty = compute locally)")
 	flag.Parse()
 
-	var scale sim.Scale
-	switch *scaleName {
-	case "unit":
-		scale = sim.UnitScale()
-	case "test":
-		scale = sim.TestScale()
-	case "full":
-		scale = sim.FullScale()
-	default:
-		fatal(fmt.Errorf("unknown scale %q (unit, test or full)", *scaleName))
+	scale, err := cliutil.Scale(*scaleName)
+	if err != nil {
+		fatal(err)
+	}
+	nw, err := cliutil.Workers(*workers)
+	if err != nil {
+		fatal(err)
+	}
+	th, err := cliutil.Threshold(*threshold)
+	if err != nil {
+		fatal(err)
 	}
 	if *seeds <= 0 {
 		fatal(fmt.Errorf("-seeds must be positive, got %d", *seeds))
@@ -62,16 +67,27 @@ func main() {
 	}
 
 	st := store.OpenCLI(*cacheDir, "tiercheck")
-	report, err := experiments.ValidateTiers(experiments.TierCheckConfig{
+	stopSignals := store.HandleSignals("tiercheck", st)
+	defer stopSignals()
+	cl, err := service.OpenCLI(*server, "tiercheck")
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.ReportStats("tiercheck")
+	cfg := experiments.TierCheckConfig{
 		Scale:       scale,
 		Seeds:       sweep,
-		Threshold:   *threshold,
-		Workers:     *workers,
+		Threshold:   th,
+		Workers:     nw,
 		MaxGroups:   *groups,
 		GapFraction: *gapFraction,
 		GapFloor:    *gapFloor,
 		Store:       st,
-	})
+	}
+	if cl != nil {
+		cfg.Remote = cl
+	}
+	report, err := experiments.ValidateTiers(cfg)
 	st.ReportStats("tiercheck")
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,58 @@
+// Package cliutil is the shared flag parser for the repro binaries.
+// Every binary accepts the same -scale/-fidelity/-workers/-threshold
+// vocabulary; parsing and validating it in one place keeps the error
+// messages identical and makes "fail fast on bad flags" a property of
+// all five binaries at once rather than five copies that drift.
+package cliutil
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/sim"
+)
+
+// Scale resolves a -scale flag value to its sim.Scale.
+func Scale(name string) (sim.Scale, error) {
+	switch name {
+	case "unit":
+		return sim.UnitScale(), nil
+	case "test":
+		return sim.TestScale(), nil
+	case "full":
+		return sim.FullScale(), nil
+	default:
+		return sim.Scale{}, fmt.Errorf("unknown scale %q (unit, test or full)", name)
+	}
+}
+
+// Fidelity resolves a -fidelity flag value.
+func Fidelity(name string) (sim.Fidelity, error) {
+	return sim.ParseFidelity(name)
+}
+
+// DefaultWorkers is the -workers flag default: one worker per CPU.
+// Binaries default the flag to this (rather than a 0 sentinel) so an
+// explicit -workers=0 is distinguishable from "unset" and can be
+// rejected by Workers.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers validates a -workers flag value. Zero or negative worker
+// counts are configuration errors: the library layer would quietly
+// substitute a default, hiding a typo like -workers=O or a broken
+// wrapper script computing 0.
+func Workers(n int) (int, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("invalid -workers=%d: must be >= 1 (default: one per CPU, %d here)",
+			n, DefaultWorkers())
+	}
+	return n, nil
+}
+
+// Threshold validates a -threshold flag value (a miss-rate fraction).
+func Threshold(t float64) (float64, error) {
+	if t != t || t < 0 || t > 1 {
+		return 0, fmt.Errorf("invalid -threshold=%v: must be in [0, 1]", t)
+	}
+	return t, nil
+}

@@ -1,0 +1,115 @@
+package cliutil
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestScale(t *testing.T) {
+	cases := []struct {
+		name    string
+		wantErr string
+	}{
+		{"unit", ""},
+		{"test", ""},
+		{"full", ""},
+		{"", `unknown scale ""`},
+		{"Test", `unknown scale "Test"`},
+		{"huge", `unknown scale "huge"`},
+	}
+	for _, tc := range cases {
+		sc, err := Scale(tc.name)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("Scale(%q): unexpected error %v", tc.name, err)
+			} else if sc.Name == "" {
+				t.Errorf("Scale(%q): unnamed scale %+v", tc.name, sc)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("Scale(%q): error %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestFidelity(t *testing.T) {
+	cases := []struct {
+		name string
+		want sim.Fidelity
+		ok   bool
+	}{
+		{"exact", sim.FidelityExact, true},
+		{"fastforward", sim.FidelityFastForward, true},
+		{"", 0, false},
+		{"Exact", 0, false},
+		{"fast", 0, false},
+	}
+	for _, tc := range cases {
+		fid, err := Fidelity(tc.name)
+		if tc.ok != (err == nil) {
+			t.Errorf("Fidelity(%q): err=%v, want ok=%v", tc.name, err, tc.ok)
+			continue
+		}
+		if tc.ok && fid != tc.want {
+			t.Errorf("Fidelity(%q) = %v, want %v", tc.name, fid, tc.want)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if n := DefaultWorkers(); n < 1 {
+		t.Fatalf("DefaultWorkers() = %d, want >= 1", n)
+	}
+	cases := []struct {
+		n  int
+		ok bool
+	}{
+		{1, true},
+		{8, true},
+		{DefaultWorkers(), true},
+		{0, false},
+		{-1, false},
+		{-100, false},
+	}
+	for _, tc := range cases {
+		got, err := Workers(tc.n)
+		if tc.ok != (err == nil) {
+			t.Errorf("Workers(%d): err=%v, want ok=%v", tc.n, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.n {
+			t.Errorf("Workers(%d) = %d, want identity", tc.n, got)
+		}
+		if !tc.ok && !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("Workers(%d): error %q does not name the flag", tc.n, err)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	cases := []struct {
+		t  float64
+		ok bool
+	}{
+		{0, true},
+		{0.3, true},
+		{1, true},
+		{-0.01, false},
+		{1.01, false},
+		{math.NaN(), false},
+	}
+	for _, tc := range cases {
+		got, err := Threshold(tc.t)
+		if tc.ok != (err == nil) {
+			t.Errorf("Threshold(%v): err=%v, want ok=%v", tc.t, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.t {
+			t.Errorf("Threshold(%v) = %v, want identity", tc.t, got)
+		}
+	}
+}

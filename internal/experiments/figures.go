@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -21,7 +22,7 @@ func (r *Runner) schemeSeries(cores int, id, title, ylabel string, speedup bool,
 	// Fan every (group, scheme) run — and, for the weighted-speedup
 	// figures, the solo runs Equation 1 needs — out over the worker
 	// pool; the serial collection below then hits the warm memo.
-	if err := r.runAll(r.crossRequests(groups, sim.AllSchemes), speedup); err != nil {
+	if err := r.runAll(context.Background(), r.crossRequests(groups, sim.AllSchemes), speedup); err != nil {
 		return metrics.Figure{}, err
 	}
 	fig := metrics.Figure{ID: id, Title: title, YLabel: ylabel, XLabel: "group"}
@@ -128,7 +129,7 @@ func (r *Runner) thresholdSeries(id, title, ylabel string, speedup bool,
 				Fidelity: r.cfg.Fidelity})
 		}
 	}
-	if err := r.runAll(reqs, speedup); err != nil {
+	if err := r.runAll(context.Background(), reqs, speedup); err != nil {
 		return metrics.Figure{}, err
 	}
 	fig := metrics.Figure{ID: id, Title: title, YLabel: ylabel, XLabel: "group"}

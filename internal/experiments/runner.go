@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -52,6 +53,34 @@ type Config struct {
 	// and a store fault can only cost recomputation, never correctness
 	// (the store degrades internally and never fails a caller).
 	Store *store.Store
+	// Remote is an optional experiment server layered between the disk
+	// store and local simulation (nil = compute locally): lookups go
+	// memory → disk → remote → simulate. Like the store, the remote
+	// layer can only save work, never change bytes or fail a run — a
+	// Remote that returns ok=false (server down, degraded, mismatched)
+	// just falls through to local computation, and results fetched
+	// remotely are published into Store so later runs are serverless-
+	// warm. service.Client is the production implementation.
+	Remote Remote
+}
+
+// Remote is the client surface of the distributed experiment service
+// (DESIGN.md §13), defined here so experiments does not depend on the
+// transport. Every method receives the canonical store key of the run
+// — the same identity the disk cache uses — plus the full request
+// fields, so the server can recompute and verify the key (a mismatch
+// means config or version skew, never a wrong answer). ok=false means
+// the remote layer is unavailable for this request; the caller
+// computes locally. Implementations must be safe for concurrent use
+// and must never block unboundedly — a dead server has to degrade to
+// ok=false in bounded time.
+type Remote interface {
+	RemoteRun(key string, sc sim.Scale, seed uint64, g workload.Group,
+		scheme sim.SchemeKind, threshold float64, v Variant, fid sim.Fidelity) (*sim.Results, bool)
+	RemoteAlone(key string, sc sim.Scale, seed uint64,
+		benchmark string, cores int, fid sim.Fidelity) (*sim.Results, bool)
+	RemoteProfile(key string, sc sim.Scale, seed uint64,
+		benchmark string, cores int, fid sim.Fidelity) (partition.CoreProfile, bool)
 }
 
 // Variant names a run-configuration mutation of the ablation and
@@ -142,9 +171,10 @@ func NewRunner(cfg Config) *Runner {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	r := &Runner{cfg: cfg, workers: workers}
-	if cfg.Store != nil {
-		r.scaleFP = store.Fingerprint(cfg.Scale)
-	}
+	// The fingerprint is always computed: the disk store, the remote
+	// layer and the exported key strings all address runs by it, and
+	// one SHA-256 of the Scale JSON per runner is free.
+	r.scaleFP = store.Fingerprint(cfg.Scale)
 	return r
 }
 
@@ -163,6 +193,24 @@ func (r *Runner) storeRunKey(k runKey) string {
 func (r *Runner) storeAloneKey(kind string, k aloneKey) string {
 	return fmt.Sprintf("%s|scale=%s|seed=%d|benchmark=%s|cores=%d|fidelity=%s",
 		kind, r.scaleFP, r.cfg.Seed, k.benchmark, k.cores, k.fidelity)
+}
+
+// RunKey renders the canonical store identity of a fully keyed group
+// run. The service protocol sends it with every request and the server
+// recomputes and verifies it, so client and server can never silently
+// disagree about what a result is for.
+func (r *Runner) RunKey(g workload.Group, scheme sim.SchemeKind, threshold float64, v Variant, fid sim.Fidelity) string {
+	return r.storeRunKey(runKey{g.Name, scheme, threshold, v, fid})
+}
+
+// AloneKey renders the canonical store identity of a solo run.
+func (r *Runner) AloneKey(benchmark string, cores int, fid sim.Fidelity) string {
+	return r.storeAloneKey("alone", aloneKey{benchmark, cores, fid})
+}
+
+// ProfileKey renders the canonical store identity of a DynCPE profile.
+func (r *Runner) ProfileKey(benchmark string, cores int, fid sim.Fidelity) string {
+	return r.storeAloneKey("profile", aloneKey{benchmark, cores, fid})
 }
 
 // Scale returns the runner's simulation scale.
@@ -185,16 +233,25 @@ func (r *Runner) AloneResults(benchmark string, cores int) (*sim.Results, error)
 func (r *Runner) aloneResults(benchmark string, cores int, fid sim.Fidelity) (*sim.Results, error) {
 	key := aloneKey{benchmark, cores, fid}
 	return r.alone.Do(key, func() (*sim.Results, error) {
+		skey := r.storeAloneKey("alone", key)
 		if st := r.cfg.Store; st != nil {
 			var cached sim.Results
-			if st.Get(r.storeAloneKey("alone", key), &cached) {
+			if st.Get(skey, &cached) {
 				return &cached, nil
+			}
+		}
+		if rem := r.cfg.Remote; rem != nil {
+			if res, ok := rem.RemoteAlone(skey, r.cfg.Scale, r.cfg.Seed, benchmark, cores, fid); ok {
+				if r.cfg.Store != nil {
+					r.cfg.Store.Put(skey, res)
+				}
+				return res, nil
 			}
 		}
 		r.sims.Add(1)
 		res, err := sim.RunAloneFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
 		if err == nil && r.cfg.Store != nil {
-			r.cfg.Store.Put(r.storeAloneKey("alone", key), res)
+			r.cfg.Store.Put(skey, res)
 		}
 		return res, err
 	})
@@ -223,16 +280,25 @@ func (r *Runner) Profile(benchmark string, cores int) (partition.CoreProfile, er
 func (r *Runner) profile(benchmark string, cores int, fid sim.Fidelity) (partition.CoreProfile, error) {
 	key := aloneKey{benchmark, cores, fid}
 	return r.profiles.Do(key, func() (partition.CoreProfile, error) {
+		skey := r.storeAloneKey("profile", key)
 		if st := r.cfg.Store; st != nil {
 			var cached partition.CoreProfile
-			if st.Get(r.storeAloneKey("profile", key), &cached) {
+			if st.Get(skey, &cached) {
 				return cached, nil
+			}
+		}
+		if rem := r.cfg.Remote; rem != nil {
+			if p, ok := rem.RemoteProfile(skey, r.cfg.Scale, r.cfg.Seed, benchmark, cores, fid); ok {
+				if r.cfg.Store != nil {
+					r.cfg.Store.Put(skey, p)
+				}
+				return p, nil
 			}
 		}
 		r.sims.Add(1)
 		p, err := sim.ProfileBenchmarkFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
 		if err == nil && r.cfg.Store != nil {
-			r.cfg.Store.Put(r.storeAloneKey("profile", key), p)
+			r.cfg.Store.Put(skey, p)
 		}
 		return p, err
 	})
@@ -265,12 +331,23 @@ func (r *Runner) RunGroupVariant(g workload.Group, scheme sim.SchemeKind, thresh
 func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, threshold float64, v Variant, fid sim.Fidelity) (*sim.Results, error) {
 	key := runKey{g.Name, scheme, threshold, v, fid}
 	return r.runs.Do(key, func() (*sim.Results, error) {
+		skey := r.storeRunKey(key)
 		if st := r.cfg.Store; st != nil {
 			var cached sim.Results
-			if st.Get(r.storeRunKey(key), &cached) {
+			if st.Get(skey, &cached) {
 				// A disk hit also skips the DynCPE profile runs the
 				// simulation would have needed.
 				return &cached, nil
+			}
+		}
+		if rem := r.cfg.Remote; rem != nil {
+			// A remote hit likewise skips the DynCPE profiles: the
+			// server gathers its own.
+			if res, ok := rem.RemoteRun(skey, r.cfg.Scale, r.cfg.Seed, g, scheme, threshold, v, fid); ok {
+				if r.cfg.Store != nil {
+					r.cfg.Store.Put(skey, res)
+				}
+				return res, nil
 			}
 		}
 		cfg := sim.RunConfig{
@@ -296,7 +373,7 @@ func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, thres
 		r.sims.Add(1)
 		res, err := sim.Run(cfg)
 		if err == nil && r.cfg.Store != nil {
-			r.cfg.Store.Put(r.storeRunKey(key), res)
+			r.cfg.Store.Put(skey, res)
 		}
 		return res, err
 	})
@@ -339,14 +416,53 @@ type Request struct {
 // returned after all workers drain. Callers that will compute weighted
 // speedups from the results should use RunAllSpeedup so Equation 1's
 // solo runs join the same fan-out.
-func (r *Runner) RunAll(reqs []Request) error { return r.runAll(reqs, false) }
+func (r *Runner) RunAll(reqs []Request) error { return r.runAll(context.Background(), reqs, false) }
 
 // RunAllSpeedup is RunAll plus the solo run of each involved benchmark
 // — Equation 1's denominators, which WeightedSpeedup would otherwise
 // execute serially afterwards.
-func (r *Runner) RunAllSpeedup(reqs []Request) error { return r.runAll(reqs, true) }
+func (r *Runner) RunAllSpeedup(reqs []Request) error {
+	return r.runAll(context.Background(), reqs, true)
+}
 
-func (r *Runner) runAll(reqs []Request, speedup bool) error {
+// RunAllContext is RunAll with cancellation: once ctx is done, no new
+// simulation starts, but simulations already in flight run to
+// completion (drain semantics — a cancelled sweep never leaves the
+// memo or the store with a half-published run). Returns ctx.Err() if
+// the fan-out was cut short.
+func (r *Runner) RunAllContext(ctx context.Context, reqs []Request) error {
+	return r.runAll(ctx, reqs, false)
+}
+
+// RunRequest executes one fully keyed request with cancellation at
+// simulation granularity: a done ctx prevents the run from starting
+// (the error is ctx.Err(), and nothing is memoised for the key), while
+// an in-flight run completes and is published normally. This is the
+// experiment server's per-HTTP-request entry point.
+func (r *Runner) RunRequest(ctx context.Context, req Request) (*sim.Results, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.RunGroupFidelity(req.Group, req.Scheme, req.Threshold, req.Variant, req.Fidelity)
+}
+
+// AloneRequest is the cancellable fully keyed solo run.
+func (r *Runner) AloneRequest(ctx context.Context, benchmark string, cores int, fid sim.Fidelity) (*sim.Results, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return r.aloneResults(benchmark, cores, fid)
+}
+
+// ProfileRequest is the cancellable fully keyed DynCPE profile run.
+func (r *Runner) ProfileRequest(ctx context.Context, benchmark string, cores int, fid sim.Fidelity) (partition.CoreProfile, error) {
+	if err := ctx.Err(); err != nil {
+		return partition.CoreProfile{}, err
+	}
+	return r.profile(benchmark, cores, fid)
+}
+
+func (r *Runner) runAll(ctx context.Context, reqs []Request, speedup bool) error {
 	var tasks []func() error
 	seenAlone := make(map[aloneKey]bool)
 	seenProfile := make(map[aloneKey]bool)
@@ -376,7 +492,7 @@ func (r *Runner) runAll(reqs []Request, speedup bool) error {
 			return err
 		})
 	}
-	return r.fanOut(tasks)
+	return r.fanOut(ctx, tasks)
 }
 
 // Prefetch warms the memo for the cross product of groups and schemes
@@ -418,7 +534,7 @@ func (r *Runner) runPairs(groups []workload.Group, speedup bool, base, alt Reque
 		base.Group, alt.Group = g, g
 		reqs = append(reqs, base, alt)
 	}
-	return r.runAll(reqs, speedup)
+	return r.runAll(context.Background(), reqs, speedup)
 }
 
 // PrefetchAlone warms the solo runs of the given benchmarks on the
@@ -431,14 +547,17 @@ func (r *Runner) PrefetchAlone(benchmarks []string, cores int) error {
 			return err
 		})
 	}
-	return r.fanOut(tasks)
+	return r.fanOut(context.Background(), tasks)
 }
 
 // fanOut runs tasks on the runner's bounded worker pool and returns the
 // first error. Tasks execute nested dependencies (profiles, solo runs)
 // inline through the singleflight memo, so a worker never submits work
-// back to the pool and the pool cannot deadlock.
-func (r *Runner) fanOut(tasks []func() error) error {
+// back to the pool and the pool cannot deadlock. A done ctx stops the
+// submission loop — tasks not yet handed to a worker never run, tasks
+// in flight complete — and surfaces as ctx.Err() when no task failed
+// first.
+func (r *Runner) fanOut(ctx context.Context, tasks []func() error) error {
 	if len(tasks) == 0 {
 		return nil
 	}
@@ -467,12 +586,30 @@ func (r *Runner) fanOut(tasks []func() error) error {
 			}
 		}()
 	}
+	cancelled := false
 	for _, task := range tasks {
-		work <- task
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		select {
+		case work <- task:
+		case <-ctx.Done():
+			cancelled = true
+		}
+		if cancelled {
+			break
+		}
 	}
 	close(work)
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // groupsFor returns the group list for a core count: the paper's

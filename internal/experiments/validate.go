@@ -51,6 +51,11 @@ type TierCheckConfig struct {
 	// Store is the optional persistent result cache (nil = in-memory
 	// only); every per-seed runner of the sweep shares it.
 	Store *store.Store
+	// Remote is the optional experiment server layer (nil = compute
+	// locally); every per-seed runner of the sweep shares it — the
+	// client is seed-agnostic, each runner stamps its own seed into
+	// the requests.
+	Remote Remote
 }
 
 // TierDelta is one scheme's seed-mean figure value at both tiers.
@@ -141,7 +146,7 @@ func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
 		r := NewRunner(Config{
 			Scale: cfg.Scale, Seed: seed,
 			Threshold: cfg.Threshold, Workers: cfg.Workers,
-			Store: cfg.Store,
+			Store: cfg.Store, Remote: cfg.Remote,
 		})
 		// One fan-out per seed: both tiers' (group, scheme) runs plus
 		// Equation 1's tier-matched solo runs and the DynCPE profiles.

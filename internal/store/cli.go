@@ -3,6 +3,8 @@ package store
 import (
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 // OpenCLI opens the store named by a binary's -cache-dir flag. An
@@ -33,4 +35,34 @@ func (s *Store) ReportStats(prog string) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "%s: store: %s\n", prog, s.Stats())
+}
+
+// HandleSignals installs a SIGINT/SIGTERM handler that releases every
+// lockfile the store still holds and flushes its stats before exiting
+// with the conventional 128+signal status. Without it an interrupt
+// mid-publish leaves lockfiles other processes must wait staleAge to
+// reclaim. The returned stop func uninstalls the handler (deferred by
+// binaries so a normal exit path wins). Safe with a nil store.
+func HandleSignals(prog string, s *Store) (stop func()) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		select {
+		case sig := <-ch:
+			s.ReleaseLocks()
+			s.ReportStats(prog)
+			fmt.Fprintf(os.Stderr, "%s: interrupted (%v)\n", prog, sig)
+			code := 128 + int(syscall.SIGTERM)
+			if sig == os.Interrupt {
+				code = 128 + int(syscall.SIGINT)
+			}
+			os.Exit(code)
+		case <-done:
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(done)
+	}
 }

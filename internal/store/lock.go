@@ -57,7 +57,13 @@ func (s *Store) acquireLock(name string) (func(), error) {
 				s.fs.Remove(path)
 				return nil, fmt.Errorf("store: writing lockfile: %w", firstErr(merr, werr, cerr))
 			}
-			return func() { s.fs.Remove(path) }, nil
+			// Track live locks so an interrupt handler (HandleSignals)
+			// can release everything this process still holds.
+			s.held.Store(path, struct{}{})
+			return func() {
+				s.held.Delete(path)
+				s.fs.Remove(path)
+			}, nil
 		}
 		if !os.IsExist(err) {
 			return nil, err
@@ -78,6 +84,21 @@ func (s *Store) acquireLock(name string) (func(), error) {
 	}
 }
 
+// ReleaseLocks removes every lockfile this process currently holds.
+// It exists for interrupt paths (HandleSignals): a killed process
+// would otherwise strand its locks until staleness reclaim. Safe on a
+// nil store and safe to call concurrently with release funcs.
+func (s *Store) ReleaseLocks() {
+	if s == nil {
+		return
+	}
+	s.held.Range(func(k, _ any) bool {
+		s.held.Delete(k)
+		s.fs.Remove(k.(string))
+		return true
+	})
+}
+
 // lockIsStale decides whether path's lock can be reclaimed. Unreadable
 // or torn lockfiles (a writer crashed between create and write) are
 // stale once older than staleAge; well-formed ones are stale only when
@@ -96,8 +117,16 @@ func (s *Store) lockIsStale(path string) bool {
 		return serr == nil && time.Since(st.ModTime()) > s.staleAge
 	}
 	if owner.PID == os.Getpid() {
-		// Our own process: another goroutine holds it, and it is alive
+		// Our own PID. A lock this process took always carries our
+		// current start ticks, so a mismatch proves the file was left
+		// by a same-PID process from a previous boot — stale. Matching
+		// (or unreadable) ticks mean another goroutine holds it, alive
 		// by definition.
+		if owner.BootTicks != 0 {
+			if ticks, ok := bootTicksOf(owner.PID); ok && ticks != owner.BootTicks {
+				return true
+			}
+		}
 		return false
 	}
 	if processAlive(owner.PID) {

@@ -94,6 +94,7 @@ type Store struct {
 	disabled    atomic.Bool
 
 	badKeys sync.Map // keys whose disk layer is off for this process
+	held    sync.Map // lockfile paths this process currently holds
 
 	warnMu sync.Mutex
 	warned map[string]bool
