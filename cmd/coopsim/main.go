@@ -8,6 +8,7 @@
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
 //	        [-scale test|full] [-seed 1] [-compare] [-workers N]
 //	        [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
+//	        [-checkpoint-dir DIR] [-checkpoint-every N]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // With -compare, all five schemes run on the group and a comparison
@@ -50,6 +51,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	cacheDir := flag.String("cache-dir", "",
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"checkpoint directory: warm-up prefixes and mid-run state persist here, and a rerun resumes from the last valid checkpoint (empty = in-memory warm-up sharing only)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"measured instructions between mid-run checkpoints (0 = warm-up checkpoints only; requires -checkpoint-dir)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -82,9 +87,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	st := store.OpenCLI(*cacheDir, "coopsim")
 	defer st.ReportStats("coopsim")
-	defer store.HandleSignals("coopsim", st)()
+	ckpts, ckptStore := cliutil.OpenCheckpoints(*ckptDir, every, "coopsim")
+	defer ckpts.ReportStats("coopsim")
+	defer ckptStore.ReportStats("coopsim: checkpoints")
+	defer store.HandleSignals("coopsim", st, ckptStore)()
 	cl, err := service.OpenCLI(*server, "coopsim")
 	if err != nil {
 		fatal(err)
@@ -92,7 +104,7 @@ func main() {
 	defer cl.ReportStats("coopsim")
 	cfg := experiments.Config{
 		Scale: scale, Seed: *seed, Threshold: th, Workers: nw, Fidelity: fid,
-		Store: st,
+		Store: st, Checkpoints: ckpts,
 	}
 	if cl != nil {
 		cfg.Remote = cl

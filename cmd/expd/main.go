@@ -11,6 +11,7 @@
 //
 //	expd [-addr 127.0.0.1:9190] [-addr-file FILE] [-cache-dir DIR]
 //	     [-workers N] [-max-concurrent N] [-drain-timeout 30s]
+//	     [-checkpoint-dir DIR] [-checkpoint-every N]
 package main
 
 import (
@@ -41,6 +42,10 @@ func main() {
 		"run requests executing simultaneously (the rest queue)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight requests before giving up")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"checkpoint directory: warm-up prefixes and mid-run state persist here, and a rerun resumes from the last valid checkpoint (empty = in-memory warm-up sharing only)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"measured instructions between mid-run checkpoints (0 = warm-up checkpoints only; requires -checkpoint-dir)")
 	flag.Parse()
 
 	w, err := cliutil.Workers(*workers)
@@ -51,10 +56,15 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("invalid -max-concurrent=%d: must be >= 1", *maxConcurrent))
 	}
+	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	st := store.OpenCLI(*cacheDir, "expd")
+	ckpts, ckptStore := cliutil.OpenCheckpoints(*ckptDir, every, "expd")
 
 	srv := service.NewServer(service.ServerOptions{
-		Workers: w, MaxConcurrent: mc, Store: st,
+		Workers: w, MaxConcurrent: mc, Store: st, Checkpoints: ckpts,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "expd: "+format+"\n", args...)
 		},
@@ -98,10 +108,13 @@ func main() {
 		}
 	}
 
-	// Whatever path got us here, leave the shared cache clean: no live
+	// Whatever path got us here, leave the shared caches clean: no live
 	// lockfiles, stats on stderr for the operator.
 	st.ReleaseLocks()
 	st.ReportStats("expd")
+	ckptStore.ReleaseLocks()
+	ckpts.ReportStats("expd")
+	ckptStore.ReportStats("expd: checkpoints")
 	p := srv.Snapshot()
 	fmt.Fprintf(os.Stderr, "expd: served %d requests (%d completed, %d failed), %d simulations\n",
 		p.Requests, p.RunsCompleted, p.RunsFailed, p.SimulationsStarted)

@@ -157,6 +157,62 @@ func TestServiceEndToEnd(t *testing.T) {
 	})
 }
 
+// TestCheckpointResumeEndToEnd is the crash-resume acceptance test
+// with real processes: a figures sweep is SIGKILLed mid-run, then
+// rerun with the same -checkpoint-dir. The rerun must complete, reuse
+// the dead process's checkpoints (resumed-from-checkpoint on stderr),
+// and emit stdout byte-identical to a checkpointless baseline.
+func TestCheckpointResumeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real figure-sweep processes")
+	}
+	binDir := t.TempDir()
+	figures := buildBinary(t, binDir, "repro/cmd/figures", "figures")
+	args := []string{"-fig", "5", "-scale", "unit"}
+
+	baseline, _, err := runClient(figures, args...)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	ckptDir := filepath.Join(t.TempDir(), "ckpt")
+	ckptArgs := append(args, "-checkpoint-dir", ckptDir, "-checkpoint-every", "30000")
+
+	// SIGKILL mid-sweep: no drain, no deferred stats, no lock release.
+	victim := exec.Command(figures, ckptArgs...)
+	var victimErr bytes.Buffer
+	victim.Stderr = &victimErr
+	if err := victim.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	victim.Process.Kill()
+	if err := victim.Wait(); err == nil {
+		// The sweep outran the kill; the rerun below still proves
+		// checkpoint reuse, just not the torn-process half.
+		t.Log("sweep finished before the kill landed; resume still exercised")
+	}
+	entries, err := os.ReadDir(filepath.Join(ckptDir, "entries"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("killed run published no checkpoints (%v); victim stderr:\n%s", err, victimErr.String())
+	}
+
+	out, errOut, err := runClient(figures, ckptArgs...)
+	if err != nil {
+		t.Fatalf("rerun after kill -9: %v\n%s", err, errOut)
+	}
+	if !bytes.Equal(out, baseline) {
+		t.Fatal("resumed output differs from checkpointless baseline")
+	}
+	se := string(errOut)
+	if !strings.Contains(se, "resumed-from-checkpoint") && !strings.Contains(se, "warmups-resumed=") {
+		t.Fatalf("rerun shows no checkpoint reuse:\n%s", se)
+	}
+	if strings.Contains(se, "warmups-resumed=0 midrun-resumed=0") {
+		t.Fatalf("rerun resumed nothing from the killed process:\n%s", se)
+	}
+}
+
 // TestExpdGracefulDrain: SIGTERM must drain and exit cleanly — zero
 // exit status, stats flushed, and no live lockfiles left in the cache.
 func TestExpdGracefulDrain(t *testing.T) {
@@ -218,6 +274,8 @@ func TestFlagValidationFailsFast(t *testing.T) {
 		{"workers-negative", []string{"-workers", "-3"}, "-workers"},
 		{"bad-scale", []string{"-scale", "galactic"}, "unknown scale"},
 		{"bad-server", []string{"-server", ":not a url:"}, "URL"},
+		{"ckpt-every-negative", []string{"-checkpoint-every", "-1"}, "-checkpoint-every"},
+		{"ckpt-every-without-dir", []string{"-checkpoint-every", "1000"}, "-checkpoint-dir"},
 	}
 	for name, pkg := range bins {
 		bin := buildBinary(t, binDir, pkg, name)
@@ -269,6 +327,24 @@ func TestFlagValidationFailsFast(t *testing.T) {
 		_, _, err := runClient(expd, "-addr", "999.999.999.999:0")
 		if err == nil {
 			t.Fatal("expd with bogus -addr exited zero")
+		}
+	})
+	t.Run("expd/ckpt-every-negative", func(t *testing.T) {
+		_, errOut, err := runClient(expd, "-checkpoint-every", "-1")
+		if err == nil {
+			t.Fatal("expd -checkpoint-every=-1 exited zero")
+		}
+		if !strings.Contains(string(errOut), "-checkpoint-every") {
+			t.Fatalf("expd stderr %q does not mention -checkpoint-every", errOut)
+		}
+	})
+	t.Run("expd/ckpt-every-without-dir", func(t *testing.T) {
+		_, errOut, err := runClient(expd, "-checkpoint-every", "1000")
+		if err == nil {
+			t.Fatal("expd -checkpoint-every without -checkpoint-dir exited zero")
+		}
+		if !strings.Contains(string(errOut), "-checkpoint-dir") {
+			t.Fatalf("expd stderr %q does not mention -checkpoint-dir", errOut)
 		}
 	})
 }

@@ -6,6 +6,7 @@
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
 //	        [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
+//	        [-checkpoint-dir DIR] [-checkpoint-every N]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
 //
@@ -51,6 +52,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	cacheDir := flag.String("cache-dir", "",
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"checkpoint directory: warm-up prefixes and mid-run state persist here, and a rerun resumes from the last valid checkpoint (empty = in-memory warm-up sharing only)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"measured instructions between mid-run checkpoints (0 = warm-up checkpoints only; requires -checkpoint-dir)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -79,9 +84,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	st := store.OpenCLI(*cacheDir, "figures")
 	defer st.ReportStats("figures")
-	defer store.HandleSignals("figures", st)()
+	ckpts, ckptStore := cliutil.OpenCheckpoints(*ckptDir, every, "figures")
+	defer ckpts.ReportStats("figures")
+	defer ckptStore.ReportStats("figures: checkpoints")
+	defer store.HandleSignals("figures", st, ckptStore)()
 	cl, err := service.OpenCLI(*server, "figures")
 	if err != nil {
 		fatal(err)
@@ -89,7 +101,7 @@ func main() {
 	defer cl.ReportStats("figures")
 	cfg := experiments.Config{
 		Scale: sc, Seed: *seed, Threshold: th, Workers: nw, Fidelity: fid,
-		Store: st,
+		Store: st, Checkpoints: ckpts,
 	}
 	if cl != nil {
 		cfg.Remote = cl

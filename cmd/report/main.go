@@ -7,6 +7,7 @@
 //
 //	report [-out report] [-scale test|full] [-seed 1] [-workers N]
 //	       [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
+//	       [-checkpoint-dir DIR] [-checkpoint-every N]
 //	       [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -40,6 +41,10 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	cacheDir := flag.String("cache-dir", "",
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"checkpoint directory: warm-up prefixes and mid-run state persist here, and a rerun resumes from the last valid checkpoint (empty = in-memory warm-up sharing only)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"measured instructions between mid-run checkpoints (0 = warm-up checkpoints only; requires -checkpoint-dir)")
 	flag.Parse()
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -67,9 +72,16 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
+	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	st := store.OpenCLI(*cacheDir, "report")
 	defer st.ReportStats("report")
-	defer store.HandleSignals("report", st)()
+	ckpts, ckptStore := cliutil.OpenCheckpoints(*ckptDir, every, "report")
+	defer ckpts.ReportStats("report")
+	defer ckptStore.ReportStats("report: checkpoints")
+	defer store.HandleSignals("report", st, ckptStore)()
 	cl, err := service.OpenCLI(*server, "report")
 	if err != nil {
 		fatal(err)
@@ -77,7 +89,7 @@ func main() {
 	defer cl.ReportStats("report")
 	cfg := experiments.Config{
 		Scale: scale, Seed: *seed, Workers: nw, Fidelity: fid,
-		Store: st,
+		Store: st, Checkpoints: ckpts,
 	}
 	if cl != nil {
 		cfg.Remote = cl

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	tables [-table N] [-scale test|full] [-seed N] [-workers N] [-cache-dir DIR]
-//	       [-server URL]
+//	       [-server URL] [-checkpoint-dir DIR] [-checkpoint-every N]
 //
 // Without -table, all four tables are printed.
 package main
@@ -29,6 +29,10 @@ func main() {
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	server := flag.String("server", "",
 		"expd server URL to fetch results from (empty = compute locally)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"checkpoint directory: warm-up prefixes and mid-run state persist here, and a rerun resumes from the last valid checkpoint (empty = in-memory warm-up sharing only)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"measured instructions between mid-run checkpoints (0 = warm-up checkpoints only; requires -checkpoint-dir)")
 	flag.Parse()
 
 	sc, err := cliutil.Scale(*scale)
@@ -39,15 +43,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	st := store.OpenCLI(*cacheDir, "tables")
 	defer st.ReportStats("tables")
-	defer store.HandleSignals("tables", st)()
+	ckpts, ckptStore := cliutil.OpenCheckpoints(*ckptDir, every, "tables")
+	defer ckpts.ReportStats("tables")
+	defer ckptStore.ReportStats("tables: checkpoints")
+	defer store.HandleSignals("tables", st, ckptStore)()
 	cl, err := service.OpenCLI(*server, "tables")
 	if err != nil {
 		fatal(err)
 	}
 	defer cl.ReportStats("tables")
-	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: nw, Store: st}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: nw, Store: st, Checkpoints: ckpts}
 	if cl != nil {
 		cfg.Remote = cl
 	}

@@ -13,6 +13,7 @@
 //	          [-groups N] [-threshold T] [-gap-fraction 0.5]
 //	          [-gap-floor 0.02] [-workers N] [-json report.json]
 //	          [-cache-dir DIR] [-server URL]
+//	          [-checkpoint-dir DIR] [-checkpoint-every N]
 package main
 
 import (
@@ -44,6 +45,10 @@ func main() {
 		"persistent result cache directory shared across runs and processes (empty = in-memory only)")
 	server := flag.String("server", "",
 		"expd server URL to fetch results from (empty = compute locally)")
+	ckptDir := flag.String("checkpoint-dir", "",
+		"checkpoint directory: warm-up prefixes and mid-run state persist here, and a rerun resumes from the last valid checkpoint (empty = in-memory warm-up sharing only)")
+	ckptEvery := flag.Int64("checkpoint-every", 0,
+		"measured instructions between mid-run checkpoints (0 = warm-up checkpoints only; requires -checkpoint-dir)")
 	flag.Parse()
 
 	scale, err := cliutil.Scale(*scaleName)
@@ -66,8 +71,13 @@ func main() {
 		sweep[i] = *seedBase + uint64(i)
 	}
 
+	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
+	if err != nil {
+		fatal(err)
+	}
 	st := store.OpenCLI(*cacheDir, "tiercheck")
-	stopSignals := store.HandleSignals("tiercheck", st)
+	ckpts, ckptStore := cliutil.OpenCheckpoints(*ckptDir, every, "tiercheck")
+	stopSignals := store.HandleSignals("tiercheck", st, ckptStore)
 	defer stopSignals()
 	cl, err := service.OpenCLI(*server, "tiercheck")
 	if err != nil {
@@ -83,12 +93,15 @@ func main() {
 		GapFraction: *gapFraction,
 		GapFloor:    *gapFloor,
 		Store:       st,
+		Checkpoints: ckpts,
 	}
 	if cl != nil {
 		cfg.Remote = cl
 	}
 	report, err := experiments.ValidateTiers(cfg)
 	st.ReportStats("tiercheck")
+	ckpts.ReportStats("tiercheck")
+	ckptStore.ReportStats("tiercheck: checkpoints")
 	if err != nil {
 		fatal(err)
 	}

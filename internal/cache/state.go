@@ -1,0 +1,142 @@
+package cache
+
+import "fmt"
+
+// Snapshot/restore layer (DESIGN.md §14). State captures exactly the
+// dynamic portion of a Cache — the per-bank SoA arrays, the global
+// recency clock, the bank-port reservations and the counters — and
+// none of the derived geometry, which Restore expects the receiver to
+// already have (a restored cache is always built by New from the same
+// Config, so masks, shifts and latencies are reconstructed rather than
+// trusted from disk).
+
+// BankState is one bank's SoA arrays, copied verbatim: dense
+// tags/owners/lru rows plus one valid/dirty word per local set.
+type BankState struct {
+	Tags   []uint64
+	Owners []int32
+	LRU    []uint64
+	Valid  []uint64
+	Dirty  []uint64
+}
+
+// State is the complete dynamic state of a Cache. It serializes the
+// banked layout as-is; a monolithic cache is the one-bank special case,
+// so both layouts round-trip through the same struct.
+type State struct {
+	Banks    []BankState
+	Clock    uint64
+	BankFree []int64 // nil when bank contention is unmodelled
+	Stats    Stats
+}
+
+// State returns a deep copy of the cache's dynamic state.
+func (c *Cache) State() *State {
+	st := &State{
+		Banks: make([]BankState, len(c.banks)),
+		Clock: c.clock,
+		Stats: c.stats,
+	}
+	for i := range c.banks {
+		bk := &c.banks[i]
+		st.Banks[i] = BankState{
+			Tags:   append([]uint64(nil), bk.tags...),
+			Owners: append([]int32(nil), bk.owners...),
+			LRU:    append([]uint64(nil), bk.lru...),
+			Valid:  append([]uint64(nil), bk.valid...),
+			Dirty:  append([]uint64(nil), bk.dirty...),
+		}
+	}
+	if c.bankFree != nil {
+		st.BankFree = append([]int64(nil), c.bankFree...)
+	}
+	return st
+}
+
+// Restore overwrites the cache's dynamic state with st. The receiver
+// must have been built from the same Config the snapshot was taken
+// under; geometry mismatches are rejected rather than truncated, since
+// a partially applied snapshot would silently corrupt the run.
+func (c *Cache) Restore(st *State) error {
+	if len(st.Banks) != len(c.banks) {
+		return fmt.Errorf("cache %q: snapshot has %d banks, cache has %d",
+			c.cfg.Name, len(st.Banks), len(c.banks))
+	}
+	for i := range c.banks {
+		bk := &c.banks[i]
+		sb := &st.Banks[i]
+		if len(sb.Tags) != len(bk.tags) || len(sb.Owners) != len(bk.owners) ||
+			len(sb.LRU) != len(bk.lru) || len(sb.Valid) != len(bk.valid) ||
+			len(sb.Dirty) != len(bk.dirty) {
+			return fmt.Errorf("cache %q: snapshot bank %d geometry mismatch", c.cfg.Name, i)
+		}
+	}
+	if st.BankFree != nil && len(st.BankFree) != len(c.banks) {
+		return fmt.Errorf("cache %q: snapshot has %d bank-port reservations, cache has %d banks",
+			c.cfg.Name, len(st.BankFree), len(c.banks))
+	}
+	for i := range c.banks {
+		bk := &c.banks[i]
+		sb := &st.Banks[i]
+		copy(bk.tags, sb.Tags)
+		copy(bk.owners, sb.Owners)
+		copy(bk.lru, sb.LRU)
+		copy(bk.valid, sb.Valid)
+		copy(bk.dirty, sb.Dirty)
+	}
+	c.clock = st.Clock
+	if c.bankFree != nil {
+		if st.BankFree != nil {
+			copy(c.bankFree, st.BankFree)
+		} else {
+			for i := range c.bankFree {
+				c.bankFree[i] = 0
+			}
+		}
+	}
+	c.stats = st.Stats
+	return nil
+}
+
+// MSHRState is the complete dynamic state of an MSHRFile. Entries are
+// kept in slice order: retire and Allocate compact with swap-with-last,
+// so the order is part of the machine state (it decides scan order and
+// victim choice between tied completion times) and must survive a
+// round-trip verbatim.
+type MSHRState struct {
+	Lines []LineAddr
+	Done  []int64
+	Stats MSHRStats
+}
+
+// State returns a deep copy of the file's dynamic state.
+func (m *MSHRFile) State() *MSHRState {
+	st := &MSHRState{
+		Lines: make([]LineAddr, len(m.entries)),
+		Done:  make([]int64, len(m.entries)),
+		Stats: m.stats,
+	}
+	for i, e := range m.entries {
+		st.Lines[i] = e.line
+		st.Done[i] = e.done
+	}
+	return st
+}
+
+// Restore overwrites the file's entries and counters with st.
+func (m *MSHRFile) Restore(st *MSHRState) error {
+	if len(st.Lines) != len(st.Done) {
+		return fmt.Errorf("mshr: snapshot has %d lines but %d completion times",
+			len(st.Lines), len(st.Done))
+	}
+	if len(st.Lines) > m.capacity {
+		return fmt.Errorf("mshr: snapshot has %d entries, file capacity is %d",
+			len(st.Lines), m.capacity)
+	}
+	m.entries = m.entries[:0]
+	for i := range st.Lines {
+		m.entries = append(m.entries, mshrEntry{line: st.Lines[i], done: st.Done[i]})
+	}
+	m.stats = st.Stats
+	return nil
+}

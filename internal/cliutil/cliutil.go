@@ -7,9 +7,12 @@ package cliutil
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 
+	"repro/internal/ckpt"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Scale resolves a -scale flag value to its sim.Scale.
@@ -55,4 +58,36 @@ func Threshold(t float64) (float64, error) {
 		return 0, fmt.Errorf("invalid -threshold=%v: must be in [0, 1]", t)
 	}
 	return t, nil
+}
+
+// Checkpointing validates the -checkpoint-dir/-checkpoint-every flag
+// pair. A negative cadence is a typo; a cadence without a directory is
+// a configuration error (mid-run checkpoints that die with the process
+// protect nothing) — both fail fast rather than silently running
+// uncheckpointed.
+func Checkpointing(dir string, every int64) (uint64, error) {
+	if every < 0 {
+		return 0, fmt.Errorf("invalid -checkpoint-every=%d: must be >= 0 (measured instructions between mid-run checkpoints; 0 = warm-up checkpoints only)", every)
+	}
+	if every > 0 && dir == "" {
+		return 0, fmt.Errorf("-checkpoint-every=%d requires -checkpoint-dir (mid-run checkpoints need a directory to survive the process)", every)
+	}
+	return uint64(every), nil
+}
+
+// OpenCheckpoints opens the checkpoint manager for a validated
+// -checkpoint-dir/-checkpoint-every pair. An empty dir yields a
+// memory-only manager (in-process warm-up sharing still on); an
+// unusable directory degrades the same way via store.OpenCLI. The
+// returned store (nil without a dir) is exposed for exit-time stats
+// reporting and signal handling.
+func OpenCheckpoints(dir string, every uint64, prog string) (*ckpt.Manager, *store.Store) {
+	st := store.OpenCLI(dir, prog)
+	return ckpt.New(ckpt.Options{
+		Store: st,
+		Every: every,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, prog+": "+format+"\n", args...)
+		},
+	}), st
 }

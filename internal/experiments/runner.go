@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -62,6 +63,13 @@ type Config struct {
 	// remotely are published into Store so later runs are serverless-
 	// warm. service.Client is the production implementation.
 	Remote Remote
+	// Checkpoints executes every simulation the runner performs
+	// locally (DESIGN.md §14): warm-up prefixes are computed once per
+	// identity and shared, and with a checkpoint store attached,
+	// killed runs resume mid-measured-region. nil gets a memory-only
+	// manager (in-process warm-up sharing, no mid-run checkpoints) —
+	// results are bit-identical in every configuration.
+	Checkpoints *ckpt.Manager
 }
 
 // Remote is the client surface of the distributed experiment service
@@ -170,6 +178,9 @@ func NewRunner(cfg Config) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Checkpoints == nil {
+		cfg.Checkpoints = ckpt.New(ckpt.Options{})
+	}
 	r := &Runner{cfg: cfg, workers: workers}
 	// The fingerprint is always computed: the disk store, the remote
 	// layer and the exported key strings all address runs by it, and
@@ -221,6 +232,10 @@ func (r *Runner) Scale() sim.Scale { return r.cfg.Scale }
 // observability hook the memoisation and singleflight tests pin.
 func (r *Runner) Simulations() uint64 { return r.sims.Load() }
 
+// Checkpoints exposes the checkpoint manager (never nil), for stats
+// reporting and the warm-up exactly-once assertions.
+func (r *Runner) Checkpoints() *ckpt.Manager { return r.cfg.Checkpoints }
+
 // AloneResults returns (memoised) the solo run of a benchmark on the
 // LLC geometry used by groups of the given core count, at the runner's
 // fidelity.
@@ -248,8 +263,12 @@ func (r *Runner) aloneResults(benchmark string, cores int, fid sim.Fidelity) (*s
 				return res, nil
 			}
 		}
+		cfg, err := sim.AloneConfig(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		if err != nil {
+			return nil, err
+		}
 		r.sims.Add(1)
-		res, err := sim.RunAloneFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		res, err := r.cfg.Checkpoints.Run(cfg)
 		if err == nil && r.cfg.Store != nil {
 			r.cfg.Store.Put(skey, res)
 		}
@@ -295,12 +314,19 @@ func (r *Runner) profile(benchmark string, cores int, fid sim.Fidelity) (partiti
 				return p, nil
 			}
 		}
-		r.sims.Add(1)
-		p, err := sim.ProfileBenchmarkFidelity(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
-		if err == nil && r.cfg.Store != nil {
-			r.cfg.Store.Put(skey, p)
+		cfg, err := sim.ProfileConfig(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		if err != nil {
+			return partition.CoreProfile{}, err
 		}
-		return p, err
+		r.sims.Add(1)
+		res, err := r.cfg.Checkpoints.Run(cfg)
+		if err != nil {
+			return partition.CoreProfile{}, err
+		}
+		if r.cfg.Store != nil {
+			r.cfg.Store.Put(skey, res.Profile)
+		}
+		return res.Profile, nil
 	})
 }
 
@@ -371,7 +397,7 @@ func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, thres
 			}
 		}
 		r.sims.Add(1)
-		res, err := sim.Run(cfg)
+		res, err := r.cfg.Checkpoints.Run(cfg)
 		if err == nil && r.cfg.Store != nil {
 			r.cfg.Store.Put(skey, res)
 		}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/ckpt"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -56,6 +57,11 @@ type TierCheckConfig struct {
 	// client is seed-agnostic, each runner stamps its own seed into
 	// the requests.
 	Remote Remote
+	// Checkpoints is the optional checkpoint manager (nil gets each
+	// runner a memory-only one); every per-seed runner shares it —
+	// warm-up keys carry the seed, so sharing the manager never
+	// aliases runs.
+	Checkpoints *ckpt.Manager
 }
 
 // TierDelta is one scheme's seed-mean figure value at both tiers.
@@ -146,7 +152,7 @@ func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
 		r := NewRunner(Config{
 			Scale: cfg.Scale, Seed: seed,
 			Threshold: cfg.Threshold, Workers: cfg.Workers,
-			Store: cfg.Store, Remote: cfg.Remote,
+			Store: cfg.Store, Remote: cfg.Remote, Checkpoints: cfg.Checkpoints,
 		})
 		// One fan-out per seed: both tiers' (group, scheme) runs plus
 		// Equation 1's tier-matched solo runs and the DynCPE profiles.

@@ -1,0 +1,42 @@
+package mem
+
+import "fmt"
+
+// State is the dynamic portion of a DRAM: bank/bus availability, the
+// outstanding-request completion times and the counters (DESIGN.md
+// §14). The inflight slice is order-significant — reserve compacts it
+// preserving relative order and evicts by scan position on ties — so
+// it round-trips verbatim, not sorted.
+type State struct {
+	BankFree []int64
+	BusFree  int64
+	Inflight []int64
+	Stats    Stats
+}
+
+// State returns a deep copy of the DRAM's dynamic state.
+func (d *DRAM) State() *State {
+	return &State{
+		BankFree: append([]int64(nil), d.bankFree...),
+		BusFree:  d.busFree,
+		Inflight: append([]int64(nil), d.inflight...),
+		Stats:    d.stats,
+	}
+}
+
+// Restore overwrites the DRAM's dynamic state with st. The receiver
+// must have been built from the same Config.
+func (d *DRAM) Restore(st *State) error {
+	if len(st.BankFree) != len(d.bankFree) {
+		return fmt.Errorf("mem: snapshot has %d banks, DRAM has %d", len(st.BankFree), len(d.bankFree))
+	}
+	if len(st.Inflight) > d.cfg.MaxOutstanding {
+		return fmt.Errorf("mem: snapshot has %d outstanding requests, limit is %d",
+			len(st.Inflight), d.cfg.MaxOutstanding)
+	}
+	copy(d.bankFree, st.BankFree)
+	d.busFree = st.BusFree
+	d.inflight = append(d.inflight[:0], st.Inflight...)
+	d.stats = st.Stats
+	return nil
+}

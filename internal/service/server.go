@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -36,6 +37,11 @@ type ServerOptions struct {
 	// and its cross-process lockfiles are what serialise the server
 	// against other processes on the same directory.
 	Store *store.Store
+	// Checkpoints is the shared checkpoint manager (nil gets each
+	// runner a memory-only one). Warm-up keys carry the scale
+	// fingerprint and seed, so one manager serves every runner the
+	// server builds without aliasing runs.
+	Checkpoints *ckpt.Manager
 	// Logf receives request-level warnings; stderr if nil.
 	Logf func(format string, args ...any)
 }
@@ -47,10 +53,11 @@ type ServerOptions struct {
 // layers the binaries use locally. All methods are safe for
 // concurrent use.
 type Server struct {
-	workers int
-	store   *store.Store
-	logf    func(format string, args ...any)
-	sem     chan struct{}
+	workers     int
+	store       *store.Store
+	checkpoints *ckpt.Manager
+	logf        func(format string, args ...any)
+	sem         chan struct{}
 
 	mu      sync.Mutex
 	runners map[string]*experiments.Runner
@@ -77,11 +84,12 @@ func NewServer(opts ServerOptions) *Server {
 		}
 	}
 	return &Server{
-		workers: opts.Workers,
-		store:   opts.Store,
-		logf:    logf,
-		sem:     make(chan struct{}, opts.MaxConcurrent),
-		runners: make(map[string]*experiments.Runner),
+		workers:     opts.Workers,
+		store:       opts.Store,
+		checkpoints: opts.Checkpoints,
+		logf:        logf,
+		sem:         make(chan struct{}, opts.MaxConcurrent),
+		runners:     make(map[string]*experiments.Runner),
 	}
 }
 
@@ -97,6 +105,7 @@ func (s *Server) runner(sc sim.Scale, seed uint64) *experiments.Runner {
 	if !ok {
 		r = experiments.NewRunner(experiments.Config{
 			Scale: sc, Seed: seed, Workers: s.workers, Store: s.store,
+			Checkpoints: s.checkpoints,
 		})
 		s.runners[key] = r
 	}

@@ -96,25 +96,48 @@ func RunAlone(benchmark string, sc Scale, coresInGroup int, seed uint64) (*Resul
 	return RunAloneFidelity(benchmark, sc, coresInGroup, seed, FidelityExact)
 }
 
-// RunAloneFidelity is RunAlone at an explicit RNG-walk tier: Equation
-// 1's denominators must come from the same tier as the shared runs
-// they normalise, so FastForward evaluations solo-run at FastForward.
-func RunAloneFidelity(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (*Results, error) {
+// AloneConfig builds the RunConfig of a benchmark's alone run: a scale
+// whose two-core L2 is the target group geometry, one core on it. The
+// checkpoint layer routes solo runs through this builder so the config
+// (and thus the warm-up checkpoint identity) is canonical.
+func AloneConfig(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (RunConfig, error) {
 	l2, err := sc.L2For(coresInGroup)
 	if err != nil {
-		return nil, err
+		return RunConfig{}, err
 	}
-	// Build a scale whose two-core L2 is the target geometry, then run
-	// one core on it.
 	solo := sc
 	solo.L2TwoCore = l2
-	return Run(RunConfig{
+	return RunConfig{
 		Scale:    solo,
 		Scheme:   Unmanaged,
 		Group:    SoloGroup(benchmark),
 		Seed:     seed,
 		Fidelity: fid,
-	})
+	}, nil
+}
+
+// ProfileConfig is AloneConfig with profile capture on — the two
+// configs differ in nothing else, which is what lets one warm-up
+// checkpoint serve both runs (capture only observes; its monitor is
+// reset at the warm-up boundary).
+func ProfileConfig(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (RunConfig, error) {
+	cfg, err := AloneConfig(benchmark, sc, coresInGroup, seed, fid)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	cfg.CaptureProfile = true
+	return cfg, nil
+}
+
+// RunAloneFidelity is RunAlone at an explicit RNG-walk tier: Equation
+// 1's denominators must come from the same tier as the shared runs
+// they normalise, so FastForward evaluations solo-run at FastForward.
+func RunAloneFidelity(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (*Results, error) {
+	cfg, err := AloneConfig(benchmark, sc, coresInGroup, seed, fid)
+	if err != nil {
+		return nil, err
+	}
+	return Run(cfg)
 }
 
 // ProfileBenchmark runs a benchmark solo and captures its per-phase
@@ -127,20 +150,11 @@ func ProfileBenchmark(benchmark string, sc Scale, coresInGroup int, seed uint64)
 // tier (Dynamic CPE's profiles feed allocation decisions, so a
 // FastForward evaluation profiles at FastForward).
 func ProfileBenchmarkFidelity(benchmark string, sc Scale, coresInGroup int, seed uint64, fid Fidelity) (partition.CoreProfile, error) {
-	l2, err := sc.L2For(coresInGroup)
+	cfg, err := ProfileConfig(benchmark, sc, coresInGroup, seed, fid)
 	if err != nil {
 		return partition.CoreProfile{}, err
 	}
-	solo := sc
-	solo.L2TwoCore = l2
-	res, err := Run(RunConfig{
-		Scale:          solo,
-		Scheme:         Unmanaged,
-		Group:          SoloGroup(benchmark),
-		Seed:           seed,
-		Fidelity:       fid,
-		CaptureProfile: true,
-	})
+	res, err := Run(cfg)
 	if err != nil {
 		return partition.CoreProfile{}, err
 	}

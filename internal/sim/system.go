@@ -111,6 +111,11 @@ type System struct {
 	// that prove it.
 	stepRecords bool
 
+	// prog is the measured-loop bookkeeping, lifted into a field so a
+	// mid-run Snapshot carries it and a restored system resumes the
+	// loop exactly where it stopped (DESIGN.md §14).
+	prog *Progress
+
 	profMon    *umon.Monitor
 	profPhases []partition.ProfilePhase
 	profAccs   uint64
@@ -373,28 +378,103 @@ func (s *System) runUntil(target uint64) {
 	}
 }
 
-// Run executes warm-up plus the measured region and gathers results.
-func (s *System) Run() *Results {
+// Progress is the measured-loop bookkeeping: which cores have crossed
+// the retirement target, how many, and the IPC/MPKI recorded at each
+// crossing. It travels inside mid-run snapshots so a restored run
+// records exactly the results the uninterrupted run would have.
+type Progress struct {
+	Recorded []bool
+	Done     int
+	IPC      []float64
+	MPKI     []float64
+}
+
+func (p *Progress) clone() *Progress {
+	return &Progress{
+		Recorded: append([]bool(nil), p.Recorded...),
+		Done:     p.Done,
+		IPC:      append([]float64(nil), p.IPC...),
+		MPKI:     append([]float64(nil), p.MPKI...),
+	}
+}
+
+// Warmup executes the warm-up region (if any) and resets statistics at
+// its boundary. Run == Warmup followed by RunMeasured; the split lets
+// the checkpoint layer snapshot the warm-up boundary and resume many
+// runs from it.
+func (s *System) Warmup() {
 	if s.cfg.Scale.WarmupInstr > 0 {
 		s.runUntil(s.cfg.Scale.WarmupInstr)
 		s.resetStats()
 	}
+}
 
+// Run executes warm-up plus the measured region and gathers results.
+func (s *System) Run() *Results {
+	s.Warmup()
+	return s.RunMeasured(0, nil)
+}
+
+// nextCkptBoundary returns the next mid-run checkpoint boundary — the
+// smallest multiple of every (in measured-region instructions, below
+// target) that some core has not yet reached — and how many cores are
+// still short of it; (0, 0) when no boundary remains. Boundaries are a
+// pure function of the simulation state, never serialized: a restored
+// run re-derives them, so snapshot bytes are independent of the
+// -checkpoint-every setting that produced them.
+func (s *System) nextCkptBoundary(every, target uint64) (uint64, int) {
+	min := ^uint64(0)
+	for _, c := range s.cores {
+		if r := c.Retired(); r < min {
+			min = r
+		}
+	}
+	b := (min/every + 1) * every
+	if b >= target {
+		return 0, 0
+	}
+	short := 0
+	for _, c := range s.cores {
+		if c.Retired() < b {
+			short++
+		}
+	}
+	return b, short
+}
+
+// RunMeasured executes the measured region and gathers results. When
+// every > 0 and onCkpt is non-nil, onCkpt fires each time all cores
+// have retired another `every` measured instructions (the moment the
+// last core crosses the boundary) — the hook the checkpoint layer uses
+// to snapshot mid-run state. The callback must not mutate the system;
+// with a nil hook the loop is bit-identical to an unhooked run.
+func (s *System) RunMeasured(every uint64, onCkpt func(boundary uint64)) *Results {
 	n := len(s.cores)
 	res := &Results{
 		Scheme:     string(s.cfg.Scheme),
 		Group:      s.cfg.Group.Name,
 		Fidelity:   s.cfg.Fidelity,
 		Benchmarks: append([]string(nil), s.cfg.Group.Benchmarks...),
-		IPC:        make([]float64, n),
-		MPKI:       make([]float64, n),
 	}
 
 	target := s.cfg.Scale.InstrPerApp
-	recorded := make([]bool, n)
-	done := 0
+	if s.prog == nil {
+		s.prog = &Progress{
+			Recorded: make([]bool, n),
+			IPC:      make([]float64, n),
+			MPKI:     make([]float64, n),
+		}
+	}
+	p := s.prog
+
+	var nextCkpt uint64
+	ckptShort := 0
+	if every > 0 && onCkpt != nil {
+		nextCkpt, ckptShort = s.nextCkptBoundary(every, target)
+	}
+
 	h := s.newPicker()
-	for done < n {
+	for p.Done < n {
 		ci := h.Min()
 		c := s.cores[ci]
 		now := c.Now()
@@ -402,24 +482,39 @@ func (s *System) Run() *Results {
 			s.decide(s.nextDecision)
 			s.nextDecision += s.cfg.Scale.PhaseCycles
 		}
+		var before uint64
+		if nextCkpt > 0 {
+			before = c.Retired()
+		}
 		if s.stepRecords {
 			c.Step()
 		} else {
 			limit := ^uint64(0)
-			if !recorded[ci] {
+			if !p.Recorded[ci] {
 				limit = stepCap(c, target)
 			}
 			c.StepEvent(s.stepBound(h, ci), limit)
 		}
 		h.FixMin(c.Now())
-		if !recorded[ci] && c.Retired() >= target {
-			recorded[ci] = true
-			done++
-			res.IPC[ci] = c.IPC()
+		if !p.Recorded[ci] && c.Retired() >= target {
+			p.Recorded[ci] = true
+			p.Done++
+			p.IPC[ci] = c.IPC()
 			misses := s.scheme.Stats().PerCore[ci].Misses
-			res.MPKI[ci] = float64(misses) / (float64(c.Retired()) / 1000)
+			p.MPKI[ci] = float64(misses) / (float64(c.Retired()) / 1000)
+		}
+		// The hook fires after this iteration's bookkeeping so the
+		// snapshot captures a state the loop can re-enter verbatim.
+		if nextCkpt > 0 && before < nextCkpt && c.Retired() >= nextCkpt {
+			ckptShort--
+			if ckptShort == 0 {
+				onCkpt(nextCkpt)
+				nextCkpt, ckptShort = s.nextCkptBoundary(every, target)
+			}
 		}
 	}
+	res.IPC = append([]float64(nil), p.IPC...)
+	res.MPKI = append([]float64(nil), p.MPKI...)
 
 	var maxNow int64
 	for _, c := range s.cores {

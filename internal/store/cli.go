@@ -38,20 +38,24 @@ func (s *Store) ReportStats(prog string) {
 }
 
 // HandleSignals installs a SIGINT/SIGTERM handler that releases every
-// lockfile the store still holds and flushes its stats before exiting
-// with the conventional 128+signal status. Without it an interrupt
-// mid-publish leaves lockfiles other processes must wait staleAge to
-// reclaim. The returned stop func uninstalls the handler (deferred by
-// binaries so a normal exit path wins). Safe with a nil store.
-func HandleSignals(prog string, s *Store) (stop func()) {
+// lockfile the given stores still hold and flushes their stats before
+// exiting with the conventional 128+signal status. Without it an
+// interrupt mid-publish leaves lockfiles other processes must wait
+// staleAge to reclaim. Binaries with several stores (result cache plus
+// checkpoint store) pass them all — one handler, one exit. The
+// returned stop func uninstalls the handler (deferred by binaries so a
+// normal exit path wins). Safe with nil stores.
+func HandleSignals(prog string, stores ...*Store) (stop func()) {
 	ch := make(chan os.Signal, 2)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		select {
 		case sig := <-ch:
-			s.ReleaseLocks()
-			s.ReportStats(prog)
+			for _, s := range stores {
+				s.ReleaseLocks()
+				s.ReportStats(prog)
+			}
 			fmt.Fprintf(os.Stderr, "%s: interrupted (%v)\n", prog, sig)
 			code := 128 + int(syscall.SIGTERM)
 			if sig == os.Interrupt {

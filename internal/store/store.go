@@ -8,6 +8,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -48,6 +49,11 @@ type Options struct {
 	// MaxFaults is how many consecutive store faults disable the disk
 	// layer entirely; 4 if zero.
 	MaxFaults int
+	// MaxQuarantine caps how many files quarantine/ may hold: the
+	// oldest beyond the cap are reaped (counted in Stats.Reaped) so a
+	// recurring corruption source cannot grow the directory without
+	// bound. 64 if zero; negative keeps everything.
+	MaxQuarantine int
 }
 
 // Stats are the store's observability counters (satellite: corruption
@@ -60,13 +66,17 @@ type Stats struct {
 	Writes             uint64
 	WriteSkips         uint64
 	CorruptQuarantined uint64
-	Faults             uint64
-	Degraded           bool
+	// Reaped counts quarantined files deleted by the MaxQuarantine cap
+	// (this process only; other processes sharing the directory keep
+	// their own count).
+	Reaped   uint64
+	Faults   uint64
+	Degraded bool
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d writes=%d write-skips=%d corrupt-quarantined=%d faults=%d degraded=%v",
-		s.Hits, s.Misses, s.Writes, s.WriteSkips, s.CorruptQuarantined, s.Faults, s.Degraded)
+	return fmt.Sprintf("hits=%d misses=%d writes=%d write-skips=%d corrupt-quarantined=%d reaped=%d faults=%d degraded=%v",
+		s.Hits, s.Misses, s.Writes, s.WriteSkips, s.CorruptQuarantined, s.Reaped, s.Faults, s.Degraded)
 }
 
 // Store is a content-addressed persistent result cache. All methods are
@@ -76,12 +86,13 @@ func (s Stats) String() string {
 // skip the key → disable the store) and surfaces only in Stats and a
 // single log line per condition.
 type Store struct {
-	dir         string
-	fs          FS
-	logf        func(format string, args ...any)
-	lockTimeout time.Duration
-	staleAge    time.Duration
-	maxFaults   int
+	dir           string
+	fs            FS
+	logf          func(format string, args ...any)
+	lockTimeout   time.Duration
+	staleAge      time.Duration
+	maxFaults     int
+	maxQuarantine int
 
 	seq         atomic.Uint64
 	hits        atomic.Uint64
@@ -89,6 +100,7 @@ type Store struct {
 	writes      atomic.Uint64
 	writeSkips  atomic.Uint64
 	corrupt     atomic.Uint64
+	reaped      atomic.Uint64
 	faults      atomic.Uint64
 	consecutive atomic.Int64
 	disabled    atomic.Bool
@@ -105,13 +117,14 @@ type Store struct {
 // and run storeless rather than abort.
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
-		dir:         dir,
-		fs:          opts.FS,
-		logf:        opts.Logf,
-		lockTimeout: opts.LockTimeout,
-		staleAge:    opts.StaleAge,
-		maxFaults:   opts.MaxFaults,
-		warned:      make(map[string]bool),
+		dir:           dir,
+		fs:            opts.FS,
+		logf:          opts.Logf,
+		lockTimeout:   opts.LockTimeout,
+		staleAge:      opts.StaleAge,
+		maxFaults:     opts.MaxFaults,
+		maxQuarantine: opts.MaxQuarantine,
+		warned:        make(map[string]bool),
 	}
 	if s.fs == nil {
 		s.fs = OSFS{}
@@ -130,12 +143,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	if s.maxFaults == 0 {
 		s.maxFaults = 4
 	}
+	if s.maxQuarantine == 0 {
+		s.maxQuarantine = 64
+	}
 	for _, d := range []string{dir, s.sub("entries"), s.sub("tmp"), s.sub("quarantine"), s.sub("locks")} {
 		if err := s.fs.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("store: creating %s: %w", d, err)
 		}
 	}
 	s.sweepTmp()
+	s.reapQuarantine()
 	return s, nil
 }
 
@@ -152,6 +169,7 @@ func (s *Store) Stats() Stats {
 		Writes:             s.writes.Load(),
 		WriteSkips:         s.writeSkips.Load(),
 		CorruptQuarantined: s.corrupt.Load(),
+		Reaped:             s.reaped.Load(),
 		Faults:             s.faults.Load(),
 		Degraded:           s.disabled.Load(),
 	}
@@ -335,6 +353,57 @@ func (s *Store) quarantine(path, why string) {
 	}
 	s.corrupt.Add(1)
 	s.warnOnce("corrupt", "store: corrupt entry quarantined (%s) — recomputing", why)
+	s.reapQuarantine()
+}
+
+// reapQuarantine bounds quarantine/ to maxQuarantine files by deleting
+// the oldest beyond the cap (modification time, name as tie-break so
+// concurrent reapers agree on the order). Quarantined entries exist
+// for post-mortem inspection, not correctness — the content address is
+// recomputed and overwritten the moment corruption is detected — so a
+// recurring corruption source must not grow the directory without
+// bound. Best effort: any error leaves the files for next time.
+func (s *Store) reapQuarantine() {
+	if s.maxQuarantine < 0 {
+		return
+	}
+	ents, err := s.fs.ReadDir(s.sub("quarantine"))
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name string
+		mod  int64
+	}
+	var files []qfile
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".corrupt") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{name: e.Name(), mod: info.ModTime().UnixNano()})
+	}
+	if len(files) <= s.maxQuarantine {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].name < files[j].name
+	})
+	for _, f := range files[:len(files)-s.maxQuarantine] {
+		if err := s.fs.Remove(filepath.Join(s.sub("quarantine"), f.name)); err == nil {
+			s.reaped.Add(1)
+		} else if os.IsNotExist(err) {
+			// Another process reaped it first; it is gone either way,
+			// but only the remover counts it.
+			continue
+		}
+	}
 }
 
 // put runs the atomic publish sequence. Every call below is a crash

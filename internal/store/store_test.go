@@ -317,3 +317,106 @@ func TestSweepTmpReapsDeadProcessFiles(t *testing.T) {
 		t.Fatal("live process's tmp file was reaped")
 	}
 }
+
+// TestQuarantineCapReapsOldest: quarantine/ is a bounded forensic
+// holding area, not a landfill — beyond MaxQuarantine the oldest
+// .corrupt files (mtime, name tie-break) are reaped on Open and after
+// each quarantine, counted in Stats.Reaped. A negative cap disables
+// reaping entirely.
+func TestQuarantineCapReapsOldest(t *testing.T) {
+	seedQuarantine := func(t *testing.T, dir string, n int) {
+		t.Helper()
+		qdir := filepath.Join(dir, "quarantine")
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		base := time.Now().Add(-time.Hour)
+		for i := 0; i < n; i++ {
+			name := filepath.Join(qdir, "entry"+strconv.Itoa(i)+".corrupt")
+			if err := os.WriteFile(name, []byte("junk"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			mod := base.Add(time.Duration(i) * time.Minute)
+			if err := os.Chtimes(name, mod, mod); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	t.Run("open-reaps-beyond-cap", func(t *testing.T) {
+		dir := t.TempDir()
+		seedQuarantine(t, dir, 6)
+		opts := testOptions(t)
+		opts.MaxQuarantine = 3
+		s := openTest(t, dir, opts)
+		if st := s.Stats(); st.Reaped != 3 {
+			t.Fatalf("reaped %d, want 3: %v", st.Reaped, st)
+		}
+		left, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+		if err != nil || len(left) != 3 {
+			t.Fatalf("quarantine holds %d files, want 3 (%v)", len(left), err)
+		}
+		// The survivors must be the newest three.
+		for _, e := range left {
+			if e.Name() != "entry3.corrupt" && e.Name() != "entry4.corrupt" && e.Name() != "entry5.corrupt" {
+				t.Fatalf("oldest-first reaping violated: %s survived", e.Name())
+			}
+		}
+	})
+
+	t.Run("negative-cap-unlimited", func(t *testing.T) {
+		dir := t.TempDir()
+		seedQuarantine(t, dir, 6)
+		opts := testOptions(t)
+		opts.MaxQuarantine = -1
+		s := openTest(t, dir, opts)
+		if st := s.Stats(); st.Reaped != 0 {
+			t.Fatalf("negative cap reaped %d files", st.Reaped)
+		}
+		left, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+		if len(left) != 6 {
+			t.Fatalf("quarantine holds %d files, want all 6", len(left))
+		}
+	})
+
+	t.Run("quarantine-path-reaps", func(t *testing.T) {
+		dir := t.TempDir()
+		opts := testOptions(t)
+		opts.MaxQuarantine = 1
+		s := openTest(t, dir, opts)
+		s.Put("k1", samplePayload())
+		s.Put("k2", samplePayload())
+		// Corrupt both entries on disk, then read them back: each Get
+		// quarantines its entry, and the second quarantine trips the cap.
+		ents, err := os.ReadDir(filepath.Join(dir, "entries"))
+		if err != nil || len(ents) != 2 {
+			t.Fatalf("want 2 entries, got %d (%v)", len(ents), err)
+		}
+		for _, e := range ents {
+			p := filepath.Join(dir, "entries", e.Name())
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-2] ^= 1
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got payload
+		if s.Get("k1", &got) || s.Get("k2", &got) {
+			t.Fatal("corrupt entries served")
+		}
+		st := s.Stats()
+		if st.CorruptQuarantined != 2 {
+			t.Fatalf("quarantined %d, want 2: %v", st.CorruptQuarantined, st)
+		}
+		if st.Reaped != 1 {
+			t.Fatalf("reaped %d, want 1: %v", st.Reaped, st)
+		}
+		left, _ := os.ReadDir(filepath.Join(dir, "quarantine"))
+		if len(left) != 1 {
+			t.Fatalf("quarantine holds %d files, want 1", len(left))
+		}
+	})
+}
