@@ -267,6 +267,27 @@ func BenchmarkFullRunCoopPartFastForward(b *testing.B) {
 	}
 }
 
+// BenchmarkFullRunCoopPartSetSampled is BenchmarkFullRunCoopPart at
+// the set-sampled LLC tier (DESIGN.md §15): the same end-to-end
+// simulation with 1 in 8 LLC sets modelled and the rest served by the
+// hit-rate estimator. Together with the FastForward pair above it
+// quantifies the tier ladder's wall-clock trajectory; the headline
+// speedup EXPERIMENTS.md records comes from this pair.
+func BenchmarkFullRunCoopPartSetSampled(b *testing.B) {
+	g, err := workload.FindGroup("G2-8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.RunConfig{
+			Scale: sim.UnitScale(), Scheme: sim.CoopPart, Group: g, Seed: 1,
+			Fidelity: sim.FidelitySetSampled,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEventStreamFastForward is BenchmarkEventStream at the
 // FastForward tier: per-instruction generator cost with ALU runs
 // sampled in O(1) instead of drawn per instruction.

@@ -7,7 +7,8 @@
 //
 //	coopsim -group G2-8 -scheme CoopPart [-threshold 0.05]
 //	        [-scale test|full] [-seed 1] [-compare] [-workers N]
-//	        [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
+//	        [-fidelity exact|fastforward|set-sampled] [-sample-sets K]
+//	        [-cache-dir DIR] [-server URL]
 //	        [-checkpoint-dir DIR] [-checkpoint-every N]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -44,7 +45,9 @@ func main() {
 	workers := flag.Int("workers", cliutil.DefaultWorkers(),
 		"concurrent simulations (default: one per CPU)")
 	fidelity := flag.String("fidelity", "exact",
-		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
+		"simulation tier: exact (bit-identical, default), fastforward or set-sampled (statistical, validated by cmd/tiercheck)")
+	sampleSets := flag.Int("sample-sets", 0,
+		"LLC set-sampling ratio K for -fidelity=set-sampled: model 1 in K sets (power of two; 0 = default)")
 	server := flag.String("server", "",
 		"expd server URL to fetch results from (empty = compute locally)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -79,6 +82,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	scale.SampleStride, err = cliutil.SampleSets(*sampleSets, fid)
+	if err != nil {
+		fatal(err)
+	}
 	nw, err := cliutil.Workers(*workers)
 	if err != nil {
 		fatal(err)
@@ -89,6 +96,9 @@ func main() {
 	}
 	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
 	if err != nil {
+		fatal(err)
+	}
+	if _, err := cliutil.CacheDir(*cacheDir); err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "coopsim")

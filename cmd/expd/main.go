@@ -3,7 +3,10 @@
 // other binaries with -server) post fully keyed run requests; expd
 // deduplicates them through the same in-memory memo and persistent
 // store layers local runs use, simulates misses, and returns verified
-// result envelopes. SIGINT/SIGTERM drains: in-flight simulations
+// result envelopes. Fidelity travels per request, not per daemon: a
+// client's -fidelity/-sample-sets choice arrives inside the run key
+// (the sample stride is part of the scale fingerprint), so one daemon
+// serves exact, fast-forward and set-sampled runs without aliasing. SIGINT/SIGTERM drains: in-flight simulations
 // complete and are served, new requests get 503, then lockfiles are
 // released and store stats flushed.
 //
@@ -58,6 +61,9 @@ func main() {
 	}
 	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
 	if err != nil {
+		fatal(err)
+	}
+	if _, err := cliutil.CacheDir(*cacheDir); err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "expd")

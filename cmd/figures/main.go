@@ -5,7 +5,8 @@
 // Usage:
 //
 //	figures [-fig N] [-scale test|full] [-seed N] [-csv] [-threshold T] [-workers N]
-//	        [-fidelity exact|fastforward] [-cache-dir DIR] [-server URL]
+//	        [-fidelity exact|fastforward|set-sampled] [-sample-sets K]
+//	        [-cache-dir DIR] [-server URL]
 //	        [-checkpoint-dir DIR] [-checkpoint-every N]
 //	        [-cpuprofile cpu.out] [-memprofile mem.out]
 //	figures -sweep scaling [-sweep-cores 2,4,8,16] [-sweep-groups N] [...]
@@ -42,7 +43,9 @@ func main() {
 	workers := flag.Int("workers", cliutil.DefaultWorkers(),
 		"concurrent simulations (default: one per CPU)")
 	fidelity := flag.String("fidelity", "exact",
-		"RNG-walk tier: exact (bit-identical, default) or fastforward (statistical, validated by cmd/tiercheck)")
+		"simulation tier: exact (bit-identical, default), fastforward or set-sampled (statistical, validated by cmd/tiercheck)")
+	sampleSets := flag.Int("sample-sets", 0,
+		"LLC set-sampling ratio K for -fidelity=set-sampled: model 1 in K sets (power of two; 0 = default)")
 	server := flag.String("server", "",
 		"expd server URL to fetch results from (empty = compute locally)")
 	sweep := flag.String("sweep", "", `sweep to run instead of figures ("scaling")`)
@@ -76,6 +79,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sc.SampleStride, err = cliutil.SampleSets(*sampleSets, fid)
+	if err != nil {
+		fatal(err)
+	}
 	nw, err := cliutil.Workers(*workers)
 	if err != nil {
 		fatal(err)
@@ -86,6 +93,9 @@ func main() {
 	}
 	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
 	if err != nil {
+		fatal(err)
+	}
+	if _, err := cliutil.CacheDir(*cacheDir); err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "figures")

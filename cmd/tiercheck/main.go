@@ -1,15 +1,17 @@
-// Command tiercheck runs the RNG-walk tier-equivalence harness
-// (experiments.ValidateTiers): both the bit-identical Exact tier and
-// the statistical FastForward tier execute the headline figures across
-// a seed sweep, and the run fails (exit 1) unless every figure's
-// exact-vs-fastforward delta is small relative to the smallest gap
-// between schemes — the contract that keeps the non-bit-identical
-// tier honest (DESIGN.md §11). CI runs it as a gate and uploads the
-// JSON report as an artifact; EXPERIMENTS.md records a TestScale run.
+// Command tiercheck runs the statistical tier-equivalence harness
+// (experiments.ValidateTiers): the bit-identical Exact tier and the
+// statistical tiers under test (FastForward and SetSampled by default)
+// execute the headline figures across a seed sweep, and the run fails
+// (exit 1) unless every figure's exact-vs-tier delta is small relative
+// to the smallest gap between schemes — the contract that keeps the
+// non-bit-identical tiers honest (DESIGN.md §11, §15). CI runs it as a
+// gate and uploads the JSON report as an artifact; EXPERIMENTS.md
+// records a TestScale run.
 //
 // Usage:
 //
 //	tiercheck [-scale unit|test|full] [-seeds 5] [-seed-base 1]
+//	          [-fidelity all|fastforward|set-sampled] [-sample-sets K]
 //	          [-groups N] [-threshold T] [-gap-fraction 0.5]
 //	          [-gap-floor 0.02] [-workers N] [-json report.json]
 //	          [-cache-dir DIR] [-server URL]
@@ -24,6 +26,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/service"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
 
@@ -31,6 +34,10 @@ func main() {
 	scaleName := flag.String("scale", "test", "simulation scale: unit, test or full")
 	seeds := flag.Int("seeds", 5, "number of seeds in the sweep")
 	seedBase := flag.Uint64("seed-base", 1, "first seed of the sweep")
+	fidelity := flag.String("fidelity", "all",
+		"statistical tier(s) to validate against exact: all, fastforward or set-sampled")
+	sampleSets := flag.Int("sample-sets", 0,
+		"LLC set-sampling ratio K for the set-sampled tier (power of two; 0 = default)")
 	groups := flag.Int("groups", 0, "two-core groups per figure (0 = all)")
 	threshold := flag.Float64("threshold", experiments.DefaultThreshold,
 		"Cooperative Partitioning takeover threshold T")
@@ -70,9 +77,33 @@ func main() {
 	for i := range sweep {
 		sweep[i] = *seedBase + uint64(i)
 	}
+	var tiers []sim.Fidelity
+	switch *fidelity {
+	case "all":
+		tiers = nil // ValidateTiers default: every statistical tier
+	case "fastforward":
+		tiers = []sim.Fidelity{sim.FidelityFastForward}
+	case "set-sampled":
+		tiers = []sim.Fidelity{sim.FidelitySetSampled}
+	default:
+		fatal(fmt.Errorf("unknown -fidelity=%q (all, fastforward or set-sampled)", *fidelity))
+	}
+	// -sample-sets is meaningful whenever the sweep includes the
+	// set-sampled tier (always, except -fidelity=fastforward).
+	strideFid := sim.FidelitySetSampled
+	if *fidelity == "fastforward" {
+		strideFid = sim.FidelityFastForward
+	}
+	scale.SampleStride, err = cliutil.SampleSets(*sampleSets, strideFid)
+	if err != nil {
+		fatal(err)
+	}
 
 	every, err := cliutil.Checkpointing(*ckptDir, *ckptEvery)
 	if err != nil {
+		fatal(err)
+	}
+	if _, err := cliutil.CacheDir(*cacheDir); err != nil {
 		fatal(err)
 	}
 	st := store.OpenCLI(*cacheDir, "tiercheck")
@@ -86,6 +117,7 @@ func main() {
 	defer cl.ReportStats("tiercheck")
 	cfg := experiments.TierCheckConfig{
 		Scale:       scale,
+		Tiers:       tiers,
 		Seeds:       sweep,
 		Threshold:   th,
 		Workers:     nw,

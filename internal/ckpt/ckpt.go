@@ -40,7 +40,10 @@ import (
 // correct response to any change in snapshot semantics: an old
 // checkpoint silently reinterpreted is a wrong answer, an orphaned one
 // only costs recomputation.
-const FormatVersion = 1
+//
+// v2: the controller snapshot grew the set-sampling estimator state
+// (partition.controllerState.Est).
+const FormatVersion = 2
 
 // Options parameterise New. The zero value is a memory-only manager:
 // warm-up sharing within the process, no mid-run checkpoints.

@@ -52,6 +52,25 @@ func Workers(n int) (int, error) {
 	return n, nil
 }
 
+// SampleSets validates the -sample-sets/-fidelity flag pair: the LLC
+// set-sampling ratio K is meaningful only on the set-sampled tier
+// (sim.NewSystem rejects it elsewhere — catch the contradiction at
+// flag parse time with a flag-vocabulary message), and an unset K on
+// that tier resolves to sim.DefaultSampleStride here so the effective
+// ratio is explicit in the run's scale fingerprint.
+func SampleSets(k int, fid sim.Fidelity) (int, error) {
+	if k < 0 || (k != 0 && k&(k-1) != 0) {
+		return 0, fmt.Errorf("invalid -sample-sets=%d: must be a power of two", k)
+	}
+	if k != 0 && fid != sim.FidelitySetSampled {
+		return 0, fmt.Errorf("-sample-sets=%d requires -fidelity=set-sampled", k)
+	}
+	if k == 0 && fid == sim.FidelitySetSampled {
+		k = sim.DefaultSampleStride
+	}
+	return k, nil
+}
+
 // Threshold validates a -threshold flag value (a miss-rate fraction).
 func Threshold(t float64) (float64, error) {
 	if t != t || t < 0 || t > 1 {
@@ -63,8 +82,10 @@ func Threshold(t float64) (float64, error) {
 // Checkpointing validates the -checkpoint-dir/-checkpoint-every flag
 // pair. A negative cadence is a typo; a cadence without a directory is
 // a configuration error (mid-run checkpoints that die with the process
-// protect nothing) — both fail fast rather than silently running
-// uncheckpointed.
+// protect nothing); an unwritable directory is caught here too — all
+// fail fast rather than silently running uncheckpointed. Mid-run
+// store faults still degrade gracefully (the ladder is unchanged);
+// only the startup contract is strict.
 func Checkpointing(dir string, every int64) (uint64, error) {
 	if every < 0 {
 		return 0, fmt.Errorf("invalid -checkpoint-every=%d: must be >= 0 (measured instructions between mid-run checkpoints; 0 = warm-up checkpoints only)", every)
@@ -72,7 +93,44 @@ func Checkpointing(dir string, every int64) (uint64, error) {
 	if every > 0 && dir == "" {
 		return 0, fmt.Errorf("-checkpoint-every=%d requires -checkpoint-dir (mid-run checkpoints need a directory to survive the process)", every)
 	}
+	if err := ProbeWritable(dir, "-checkpoint-dir"); err != nil {
+		return 0, err
+	}
 	return uint64(every), nil
+}
+
+// CacheDir validates a -cache-dir flag value: empty opts out of the
+// persistent cache; a non-empty directory must be writable at startup.
+func CacheDir(dir string) (string, error) {
+	if err := ProbeWritable(dir, "-cache-dir"); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// ProbeWritable fails fast when a persistence flag points at a
+// directory the process cannot write. The directory is created if
+// missing (exactly what the store layer would do later) and a probe
+// file is round-tripped through it. A flag that opts into persistence
+// must not silently degrade from the first cycle — mid-run failures
+// still use the store's graceful-degradation ladder, but a directory
+// that was never usable is a configuration error. An empty dir means
+// the flag is unset and passes.
+func ProbeWritable(dir, flagName string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("%s=%s: cannot create directory: %v", flagName, dir, err)
+	}
+	f, err := os.CreateTemp(dir, ".writable-probe-*")
+	if err != nil {
+		return fmt.Errorf("%s=%s: directory is not writable: %v", flagName, dir, err)
+	}
+	name := f.Name()
+	f.Close()
+	os.Remove(name)
+	return nil
 }
 
 // OpenCheckpoints opens the checkpoint manager for a validated

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"math"
+	"os"
 	"strings"
 	"testing"
 
@@ -44,6 +45,7 @@ func TestFidelity(t *testing.T) {
 	}{
 		{"exact", sim.FidelityExact, true},
 		{"fastforward", sim.FidelityFastForward, true},
+		{"set-sampled", sim.FidelitySetSampled, true},
 		{"", 0, false},
 		{"Exact", 0, false},
 		{"fast", 0, false},
@@ -87,6 +89,71 @@ func TestWorkers(t *testing.T) {
 		if !tc.ok && !strings.Contains(err.Error(), "-workers") {
 			t.Errorf("Workers(%d): error %q does not name the flag", tc.n, err)
 		}
+	}
+}
+
+func TestSampleSets(t *testing.T) {
+	cases := []struct {
+		k       int
+		fid     sim.Fidelity
+		want    int
+		wantErr string
+	}{
+		{0, sim.FidelityExact, 0, ""},
+		{0, sim.FidelityFastForward, 0, ""},
+		{0, sim.FidelitySetSampled, sim.DefaultSampleStride, ""}, // default resolved here
+		{8, sim.FidelitySetSampled, 8, ""},
+		{1, sim.FidelitySetSampled, 1, ""},
+		{64, sim.FidelitySetSampled, 64, ""},
+		{8, sim.FidelityExact, 0, "requires -fidelity=set-sampled"},
+		{8, sim.FidelityFastForward, 0, "requires -fidelity=set-sampled"},
+		{3, sim.FidelitySetSampled, 0, "power of two"},
+		{-8, sim.FidelitySetSampled, 0, "power of two"},
+	}
+	for _, tc := range cases {
+		got, err := SampleSets(tc.k, tc.fid)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("SampleSets(%d, %v): unexpected error %v", tc.k, tc.fid, err)
+			} else if got != tc.want {
+				t.Errorf("SampleSets(%d, %v) = %d, want %d", tc.k, tc.fid, got, tc.want)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("SampleSets(%d, %v): error %v, want containing %q", tc.k, tc.fid, err, tc.wantErr)
+		}
+	}
+}
+
+// TestProbeWritableFailsFast pins the startup contract of the
+// persistence flags: a directory that cannot exist — here a path
+// beneath a regular file, which fails ENOTDIR even for root — is a
+// flag error at parse time, not a silent degradation at cycle 0.
+func TestProbeWritableFailsFast(t *testing.T) {
+	if err := ProbeWritable("", "-cache-dir"); err != nil {
+		t.Fatalf("unset flag must pass, got %v", err)
+	}
+
+	good := t.TempDir() + "/fresh/nested"
+	if err := ProbeWritable(good, "-cache-dir"); err != nil {
+		t.Fatalf("creatable directory rejected: %v", err)
+	}
+
+	file := t.TempDir() + "/plain"
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := file + "/sub"
+	err := ProbeWritable(bad, "-checkpoint-dir")
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint-dir") {
+		t.Fatalf("path beneath a regular file: error %v, want naming the flag", err)
+	}
+	if _, err := Checkpointing(bad, 0); err == nil {
+		t.Fatal("Checkpointing accepted an unusable -checkpoint-dir")
+	}
+	if _, err := CacheDir(bad); err == nil {
+		t.Fatal("CacheDir accepted an unusable -cache-dir")
 	}
 }
 

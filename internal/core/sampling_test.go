@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/partition"
+	"repro/internal/umon"
+)
+
+// sampledScheme builds a two-core CoopPart on a set-sampled LLC:
+// 8 ways, 64 sets, every stride-th set modelled.
+func sampledScheme(stride, umonSampling int) *CoopPart {
+	return New(partition.Config{
+		Cache: cache.Config{Name: "l2", SizeBytes: 64 * 8 * 64, LineBytes: 64,
+			Ways: 8, Latency: 15, SampleStride: stride},
+		NumCores:        2,
+		DRAM:            mem.New(mem.DefaultConfig()),
+		UMONSampling:    umonSampling,
+		Threshold:       0.05,
+		TimelineBucket:  100,
+		TimelineBuckets: 16,
+	})
+}
+
+// TestLLCSamplerMatchesUMON pins the shared-helper invariant of the
+// set-sampled tier: the LLC's sampled-set selection is exactly the
+// selection umon.NewSetSampler makes for the same geometry — one
+// audited mapping for the address-interleaved mask, the dense row and
+// the true scale ratio, used by both the ATD and the cache substrate.
+func TestLLCSamplerMatchesUMON(t *testing.T) {
+	const sets, stride = 64, 8
+	c := sampledScheme(stride, 1)
+	l2 := c.Cache()
+	ref := umon.NewSetSampler(sets, stride)
+
+	if l2.SampledSets() != ref.Rows() || l2.SampleStride() != ref.Stride() {
+		t.Fatalf("geometry: cache %d sets stride %d, sampler %d rows stride %d",
+			l2.SampledSets(), l2.SampleStride(), ref.Rows(), ref.Stride())
+	}
+	for set := 0; set < sets; set++ {
+		if l2.Sampled(set) != ref.Sampled(set) {
+			t.Fatalf("set %d: cache sampled=%v, UMON sampler sampled=%v",
+				set, l2.Sampled(set), ref.Sampled(set))
+		}
+		if ref.Sampled(set) {
+			if row := set >> l2.SampleShift(); row != ref.Row(set) {
+				t.Fatalf("set %d: cache row %d, sampler row %d", set, row, ref.Row(set))
+			}
+		}
+	}
+}
+
+// TestMonitorsSeeFullAddressStream pins the UMON/LLC sampling
+// independence under LLC set sampling: the monitors keep their
+// configured ratio regardless of the LLC stride — the ATDs model the
+// address stream, which exists in full whether or not the LLC
+// simulates a set, so sampling the cache must not coarsen the miss
+// curves the allocation decisions run on — and an access to a
+// non-modelled (estimated) set still reaches the monitor.
+func TestMonitorsSeeFullAddressStream(t *testing.T) {
+	const sets, stride = 64, 8
+	c := sampledScheme(stride, 2)
+	if got := c.Monitors()[0].Config().Sampling; got != 2 {
+		t.Fatalf("monitor sampling = %d, want the configured 2 (not the LLC stride %d)", got, stride)
+	}
+
+	// Set 2 is UMON-sampled (ratio 2) but not LLC-modelled (stride 8):
+	// accessing it must feed the monitor and report UMONSampled.
+	l2 := c.Cache()
+	if l2.Sampled(2) || !c.UMONSampled(2) {
+		t.Fatalf("set 2: LLC-sampled=%v UMON-sampled=%v, want false/true", l2.Sampled(2), c.UMONSampled(2))
+	}
+	addr := uint64(0)
+	for a := uint64(0); a < uint64(sets)*64; a += 64 {
+		if l2.Index(l2.Line(a)) == 2 {
+			addr = a
+			break
+		}
+	}
+	before := c.Monitors()[0].Accesses()
+	res := c.Access(0, addr, false, 0)
+	if !res.UMONSampled {
+		t.Fatal("estimated access to a UMON-sampled set did not report UMONSampled")
+	}
+	if after := c.Monitors()[0].Accesses(); after <= before {
+		t.Fatalf("monitor accesses %d -> %d, want the estimated access observed", before, after)
+	}
+}

@@ -227,6 +227,21 @@ func (r *Runner) ProfileKey(benchmark string, cores int, fid sim.Fidelity) strin
 // Scale returns the runner's simulation scale.
 func (r *Runner) Scale() sim.Scale { return r.cfg.Scale }
 
+// scaleFor returns the scale a request at fid simulates under. The LLC
+// sample stride is meaningful only on the set-sampled tier (NewSystem
+// rejects it elsewhere), so a mixed-tier sweep — ValidateTiers runs
+// exact, fast-forward and set-sampled through one runner — clears it
+// for the other tiers instead of erroring. Store keys and the remote
+// protocol keep using the runner's unadjusted scale; the server applies
+// the same per-request adjustment, so the two sides never disagree.
+func (r *Runner) scaleFor(fid sim.Fidelity) sim.Scale {
+	sc := r.cfg.Scale
+	if fid != sim.FidelitySetSampled {
+		sc.SampleStride = 0
+	}
+	return sc
+}
+
 // Simulations returns how many simulator executions the runner has
 // actually performed (as opposed to answered from the memo) — the
 // observability hook the memoisation and singleflight tests pin.
@@ -263,7 +278,7 @@ func (r *Runner) aloneResults(benchmark string, cores int, fid sim.Fidelity) (*s
 				return res, nil
 			}
 		}
-		cfg, err := sim.AloneConfig(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		cfg, err := sim.AloneConfig(benchmark, r.scaleFor(fid), cores, r.cfg.Seed, fid)
 		if err != nil {
 			return nil, err
 		}
@@ -314,7 +329,7 @@ func (r *Runner) profile(benchmark string, cores int, fid sim.Fidelity) (partiti
 				return p, nil
 			}
 		}
-		cfg, err := sim.ProfileConfig(benchmark, r.cfg.Scale, cores, r.cfg.Seed, fid)
+		cfg, err := sim.ProfileConfig(benchmark, r.scaleFor(fid), cores, r.cfg.Seed, fid)
 		if err != nil {
 			return partition.CoreProfile{}, err
 		}
@@ -377,7 +392,7 @@ func (r *Runner) RunGroupFidelity(g workload.Group, scheme sim.SchemeKind, thres
 			}
 		}
 		cfg := sim.RunConfig{
-			Scale:     r.cfg.Scale,
+			Scale:     r.scaleFor(fid),
 			Scheme:    scheme,
 			Group:     g,
 			Threshold: sim.EncodeThreshold(threshold),

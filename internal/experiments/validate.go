@@ -1,13 +1,14 @@
 package experiments
 
-// The tier-equivalence validation harness (DESIGN.md §11). The
-// FastForward RNG-walk tier is a different sample from the same
-// workload distribution, so it can never be byte-compared against the
-// exact tier; what keeps it honest is a statistical contract: on the
-// headline figures, the per-scheme delta between tiers must be small
-// relative to the smallest gap *between schemes* — the quantity the
-// figures exist to discriminate. ValidateTiers measures both sides of
-// that contract across a seed sweep and emits a machine-readable
+// The tier-equivalence validation harness (DESIGN.md §11, §15). The
+// statistical fidelity tiers — FastForward's RNG walk and SetSampled's
+// 1/K LLC on top of it — are different samples from the same workload
+// distribution, so they can never be byte-compared against the exact
+// tier; what keeps them honest is a statistical contract: on the
+// headline figures, each tier's per-scheme delta from exact must be
+// small relative to the smallest gap *between schemes* — the quantity
+// the figures exist to discriminate. ValidateTiers measures both sides
+// of that contract across a seed sweep and emits a machine-readable
 // report that CI gates on (cmd/tiercheck) and EXPERIMENTS.md records.
 
 import (
@@ -39,7 +40,7 @@ const (
 // TierCheckConfig parameterises ValidateTiers.
 type TierCheckConfig struct {
 	Scale sim.Scale // TestScale if zero
-	// Seeds is the seed sweep; both tiers run at every seed and the
+	// Seeds is the seed sweep; every tier runs at every seed and the
 	// compared values are seed means. Defaults to 1..5.
 	Seeds     []uint64
 	Threshold float64 // CoopPart/DynCPE threshold; DefaultThreshold if 0
@@ -62,14 +63,21 @@ type TierCheckConfig struct {
 	// warm-up keys carry the seed, so sharing the manager never
 	// aliases runs.
 	Checkpoints *ckpt.Manager
+	// Tiers lists the statistical tiers validated against the exact
+	// baseline; empty means both FastForward and SetSampled. The
+	// set-sampled tier's stride comes from Scale.SampleStride (0 =
+	// sim.DefaultSampleStride).
+	Tiers []sim.Fidelity
 }
 
-// TierDelta is one scheme's seed-mean figure value at both tiers.
+// TierDelta is one (scheme, tier) seed-mean figure value against the
+// exact baseline.
 type TierDelta struct {
-	Scheme      string  `json:"scheme"`
-	Exact       float64 `json:"exact"`
-	FastForward float64 `json:"fast_forward"`
-	Delta       float64 `json:"delta"`
+	Scheme string  `json:"scheme"`
+	Tier   string  `json:"tier"`
+	Exact  float64 `json:"exact"`
+	Value  float64 `json:"value"`
+	Delta  float64 `json:"delta"`
 }
 
 // TierFigure is the tier comparison of one headline figure: the AVG
@@ -91,6 +99,7 @@ type TierFigure struct {
 type TierReport struct {
 	Scale       string       `json:"scale"`
 	Seeds       []uint64     `json:"seeds"`
+	Tiers       []string     `json:"tiers"`
 	Groups      int          `json:"groups"`
 	GapFraction float64      `json:"gap_fraction"`
 	GapFloor    float64      `json:"gap_floor"`
@@ -118,11 +127,11 @@ func (m tierMetrics) value(fig int) float64 {
 	}
 }
 
-// ValidateTiers runs both RNG-walk tiers across the seed sweep and
-// checks the statistical-equivalence contract figure by figure. The
-// returned report is complete even when the contract fails (Pass is
-// per-figure and overall); the error is reserved for runs that could
-// not execute.
+// ValidateTiers runs the exact tier plus every configured statistical
+// tier across the seed sweep and checks the statistical-equivalence
+// contract figure by figure. The returned report is complete even when
+// the contract fails (Pass is per-figure and overall); the error is
+// reserved for runs that could not execute.
 func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
 	if cfg.Scale.Name == "" {
 		cfg.Scale = sim.TestScale()
@@ -136,16 +145,23 @@ func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
 	if cfg.GapFloor == 0 {
 		cfg.GapFloor = DefaultGapFloor
 	}
+	if len(cfg.Tiers) == 0 {
+		cfg.Tiers = []sim.Fidelity{sim.FidelityFastForward, sim.FidelitySetSampled}
+	}
 	groups := workload.Groups2
 	if cfg.MaxGroups > 0 && cfg.MaxGroups < len(groups) {
 		groups = groups[:cfg.MaxGroups]
 	}
-	tiers := []sim.Fidelity{sim.FidelityExact, sim.FidelityFastForward}
+	tiers := append([]sim.Fidelity{sim.FidelityExact}, cfg.Tiers...)
 
-	// sums[fig][scheme][tier] accumulates the per-seed figure values.
-	sums := make([][][2]float64, len(tierFigureIDs))
+	// sums[fig][scheme][tier] accumulates the per-seed figure values;
+	// tier index 0 is the exact baseline.
+	sums := make([][][]float64, len(tierFigureIDs))
 	for i := range sums {
-		sums[i] = make([][2]float64, len(tierSchemes))
+		sums[i] = make([][]float64, len(tierSchemes))
+		for j := range sums[i] {
+			sums[i][j] = make([]float64, len(tiers))
+		}
 	}
 	var sims uint64
 	for _, seed := range cfg.Seeds {
@@ -191,21 +207,28 @@ func ValidateTiers(cfg TierCheckConfig) (*TierReport, error) {
 		Simulations: sims,
 		Pass:        true,
 	}
+	for _, fid := range cfg.Tiers {
+		report.Tiers = append(report.Tiers, fid.String())
+	}
 	n := float64(len(cfg.Seeds))
 	for fi, id := range tierFigureIDs {
 		fig := TierFigure{ID: id}
 		exact := make([]float64, len(tierSchemes))
-		for si, scheme := range tierSchemes {
-			ex := sums[fi][si][0] / n
-			ff := sums[fi][si][1] / n
-			exact[si] = ex
-			d := TierDelta{
-				Scheme: string(scheme), Exact: ex, FastForward: ff,
-				Delta: math.Abs(ex - ff),
-			}
-			fig.Deltas = append(fig.Deltas, d)
-			if d.Delta > fig.MaxDelta {
-				fig.MaxDelta = d.Delta
+		for si := range tierSchemes {
+			exact[si] = sums[fi][si][0] / n
+		}
+		for ti, fid := range cfg.Tiers {
+			for si, scheme := range tierSchemes {
+				val := sums[fi][si][ti+1] / n
+				d := TierDelta{
+					Scheme: string(scheme), Tier: fid.String(),
+					Exact: exact[si], Value: val,
+					Delta: math.Abs(exact[si] - val),
+				}
+				fig.Deltas = append(fig.Deltas, d)
+				if d.Delta > fig.MaxDelta {
+					fig.MaxDelta = d.Delta
+				}
 			}
 		}
 		fig.MinGap = minSchemeGap(exact, cfg.GapFloor)
@@ -298,16 +321,16 @@ func (r *TierReport) WriteTable(w io.Writer) error {
 		}
 		return "FAIL"
 	}
-	if _, err := fmt.Fprintf(w, "tier equivalence: scale=%s seeds=%v groups=%d gap-fraction=%.2f gap-floor=%.3f (%d simulations)\n",
-		r.Scale, r.Seeds, r.Groups, r.GapFraction, r.GapFloor, r.Simulations); err != nil {
+	if _, err := fmt.Fprintf(w, "tier equivalence: scale=%s seeds=%v tiers=%v groups=%d gap-fraction=%.2f gap-floor=%.3f (%d simulations)\n",
+		r.Scale, r.Seeds, r.Tiers, r.Groups, r.GapFraction, r.GapFloor, r.Simulations); err != nil {
 		return err
 	}
 	for _, fig := range r.Figures {
 		fmt.Fprintf(w, "\n%s  max-delta=%.4f min-gap=%.4f ratio=%.3f  %s\n",
 			fig.ID, fig.MaxDelta, fig.MinGap, fig.Ratio, status(fig.Pass))
-		fmt.Fprintf(w, "  %-10s %10s %12s %9s\n", "scheme", "exact", "fastforward", "delta")
+		fmt.Fprintf(w, "  %-10s %-12s %10s %10s %9s\n", "scheme", "tier", "exact", "value", "delta")
 		for _, d := range fig.Deltas {
-			fmt.Fprintf(w, "  %-10s %10.4f %12.4f %9.4f\n", d.Scheme, d.Exact, d.FastForward, d.Delta)
+			fmt.Fprintf(w, "  %-10s %-12s %10.4f %10.4f %9.4f\n", d.Scheme, d.Tier, d.Exact, d.Value, d.Delta)
 		}
 	}
 	_, err := fmt.Fprintf(w, "\noverall: %s\n", status(r.Pass))

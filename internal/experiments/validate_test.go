@@ -51,16 +51,17 @@ func TestValidateTiersUnitScale(t *testing.T) {
 	if len(rep.Figures) != len(tierFigureIDs) {
 		t.Fatalf("report has %d figures, want %d", len(rep.Figures), len(tierFigureIDs))
 	}
+	wantDeltas := len(sim.AllSchemes) * len(rep.Tiers)
 	for _, fig := range rep.Figures {
-		if len(fig.Deltas) != len(sim.AllSchemes) {
-			t.Fatalf("%s has %d schemes, want %d", fig.ID, len(fig.Deltas), len(sim.AllSchemes))
+		if len(fig.Deltas) != wantDeltas {
+			t.Fatalf("%s has %d delta rows, want %d (schemes x tiers)", fig.ID, len(fig.Deltas), wantDeltas)
 		}
 		for _, d := range fig.Deltas {
 			if d.Scheme == string(sim.FairShare) && d.Delta != 0 {
 				t.Fatalf("%s: FairShare normalised delta = %v, want exactly 0", fig.ID, d.Delta)
 			}
-			if d.Exact <= 0 || d.FastForward <= 0 {
-				t.Fatalf("%s/%s: non-positive figure values %+v", fig.ID, d.Scheme, d)
+			if d.Exact <= 0 || d.Value <= 0 {
+				t.Fatalf("%s/%s/%s: non-positive figure values %+v", fig.ID, d.Scheme, d.Tier, d)
 			}
 		}
 		if !fig.Pass {

@@ -1,0 +1,61 @@
+package partition
+
+// Set-sampled estimation (DESIGN.md §15). Under FidelitySetSampled the
+// LLC backs only 1/K of its sets with real storage; accesses to the
+// other sets still need a timing outcome, or the cores would run K
+// times too fast. The controller synthesizes those outcomes from what
+// the sampled subset observed: a per-core hit-rate estimator decides
+// hit vs miss, and an estimated miss is priced by a real DRAM read —
+// the cache arrays stay sampled, the memory system does not, so the
+// DRAM queues carry the full-rate miss traffic and the latencies the
+// sampled sets observe stay honest. Estimated accesses touch no
+// cache, monitor or scaled counter state — the sampled subset alone
+// estimates the full cache — but they are charged on the energy meter
+// at weight 1 like every other access (sampled + estimated ≈ the true
+// access count).
+
+// estimator is one core's estimated-access synthesizer. Hit/miss
+// decisions use error diffusion in Q16 fixed point: each estimated
+// access accrues the core's observed sampled hit rate as credit, and a
+// full unit of credit is spent as one estimated hit. The stream of
+// decisions is deterministic (no RNG, no time dependence) and its hit
+// fraction converges to the observed rate, so two runs of one config
+// are byte-identical and the estimated traffic mirrors the sampled
+// traffic's behaviour.
+type estimator struct {
+	Accesses uint64 // sampled accesses observed for this core
+	Hits     uint64 // sampled hits observed for this core
+	Credit   uint64 // Q16 error-diffusion accumulator
+}
+
+// estimated synthesizes the outcome of one access to a non-sampled
+// set: hit/miss by error diffusion on core's observed sampled hit
+// rate (no observations yet = miss), latency the L2 hit latency plus,
+// on a miss, a real DRAM read for the line. The access bypasses the
+// LLC bank ports and MSHRs (there is no sampled state to contend on)
+// but not the memory system — estimated misses occupy DRAM banks, the
+// bus and the outstanding-request queue exactly like sampled ones, so
+// contention is modelled at the true miss rate rather than 1/K of it.
+func (b *Controller) estimated(core, tags int, permCheck bool, line uint64, now int64) Result {
+	e := &b.est[core]
+	var rate uint64
+	if e.Accesses > 0 {
+		rate = (e.Hits << 16) / e.Accesses
+	}
+	e.Credit += rate
+	res := Result{TagsConsulted: tags, PermCheck: permCheck, Latency: int64(b.l2.Latency())}
+	if e.Credit >= 1<<16 {
+		e.Credit -= 1 << 16
+		res.Hit = true
+	} else {
+		res.Latency += b.dram.Read(line, now+int64(b.l2.Latency()))
+	}
+	return res
+}
+
+// EstimatedAccess exposes the estimated path to schemes outside this
+// package (Cooperative Partitioning), which gate on Cache().Sampled
+// before touching any of their per-set state.
+func (b *Controller) EstimatedAccess(core, tags int, permCheck bool, line uint64, now int64) Result {
+	return b.estimated(core, tags, permCheck, line, now)
+}

@@ -70,9 +70,13 @@ func (u *UCP) onVictim(core int, ev victimEvent, now int64) {
 		return
 	}
 	if ev.valid && tr.donors[ev.owner] && ev.owner != core && ev.dirty {
-		u.trans.RecordFlush(now-tr.start, 1)
+		u.trans.RecordFlush(now-tr.start, int(u.weight))
 	}
-	if tr.setDone[ev.set] {
+	// Convergence is tracked per simulated set: under sampling only the
+	// sampled sets receive victim events, so the per-set progress state
+	// is indexed by dense sample row.
+	row := ev.set >> u.l2.SampleShift()
+	if tr.setDone[row] {
 		return
 	}
 	for d := range tr.donors {
@@ -80,7 +84,7 @@ func (u *UCP) onVictim(core int, ev victimEvent, now int64) {
 			return
 		}
 	}
-	tr.setDone[ev.set] = true
+	tr.setDone[row] = true
 	tr.remaining--
 	if tr.remaining == 0 {
 		u.trans.Completed++
@@ -124,8 +128,8 @@ func (u *UCP) Decide(now int64) {
 		start:     now,
 		donors:    donors,
 		waysMoved: moved,
-		setDone:   make([]bool, u.l2.NumSets()),
-		remaining: u.l2.NumSets(),
+		setDone:   make([]bool, u.l2.SampledSets()),
+		remaining: u.l2.SampledSets(),
 	}
 }
 

@@ -16,7 +16,13 @@ const (
 	// statistically equivalent, never byte-comparable, validated by
 	// experiments.ValidateTiers.
 	FidelityFastForward = trace.FidelityFastForward
+	// FidelitySetSampled adds SMARTS-style LLC set sampling on top of
+	// the fast-forward walk: the shared cache models 1/K of its sets
+	// and scales the counters back up (DESIGN.md §15). Statistically
+	// validated like FastForward, never byte-comparable.
+	FidelitySetSampled = trace.FidelitySetSampled
 )
 
-// ParseFidelity parses a -fidelity flag value ("exact"/"fastforward").
+// ParseFidelity parses a -fidelity flag value
+// ("exact"/"fastforward"/"set-sampled").
 func ParseFidelity(s string) (Fidelity, error) { return trace.ParseFidelity(s) }

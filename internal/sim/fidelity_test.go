@@ -73,6 +73,89 @@ func TestFastForwardRun(t *testing.T) {
 	}
 }
 
+// TestSetSampledRun checks the set-sampled tier end to end: every
+// non-profiled scheme completes under the default stride, the run is
+// deterministic and labelled, the scaled LLC access counters land near
+// the exact tier's magnitudes (the point of weighting by K), and IPC
+// stays statistically close. The tight per-figure bounds live in
+// experiments.ValidateTiers; this is the sim-layer smoke.
+func TestSetSampledRun(t *testing.T) {
+	g := workload.Groups2[0]
+	for _, scheme := range []SchemeKind{Unmanaged, FairShare, UCP, CoopPart, PIPP} {
+		cfg := RunConfig{Scale: UnitScale(), Scheme: scheme, Group: g, Seed: 1,
+			Fidelity: FidelitySetSampled}
+		ss, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		again, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(ss, again) {
+			t.Fatalf("%s: set-sampled run is not deterministic", scheme)
+		}
+		if ss.Fidelity != FidelitySetSampled {
+			t.Fatalf("%s: run records fidelity %v, want set-sampled", scheme, ss.Fidelity)
+		}
+
+		cfg.Fidelity = FidelityFastForward
+		ff, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		// The weight-scaled counters must reconstruct full-cache
+		// magnitudes: with 1/8 of the sets modelled, an unscaled count
+		// would sit 8x low. 35% tolerance leaves room for genuine
+		// sampling noise at UnitScale's short runs.
+		ssAcc, ffAcc := ss.SchemeStats.TotalAccesses(), ff.SchemeStats.TotalAccesses()
+		if rel := math.Abs(float64(ssAcc)-float64(ffAcc)) / float64(ffAcc); rel > 0.35 {
+			t.Fatalf("%s: scaled LLC accesses %d vs fastforward %d (%.1f%% apart)",
+				scheme, ssAcc, ffAcc, 100*rel)
+		}
+		// 35% at UnitScale's very short runs: the estimator prices
+		// misses with real DRAM reads (partition/estimate.go), so the
+		// remaining error is genuine sampling noise on the hit-rate
+		// estimate, which these short runs amplify. Scheme deltas —
+		// what ValidateTiers bounds tightly — stay much closer.
+		for i := range ss.IPC {
+			if rel := math.Abs(ss.IPC[i]-ff.IPC[i]) / ff.IPC[i]; rel > 0.35 {
+				t.Fatalf("%s core %d IPC: set-sampled %v vs fastforward %v (%.1f%% apart)",
+					scheme, i, ss.IPC[i], ff.IPC[i], 100*rel)
+			}
+		}
+	}
+}
+
+// TestSampleStrideGuards pins the loud-failure paths of the stride
+// plumbing: a stride outside the set-sampled tier, a stride too large
+// for the CPE set fold, and a non-power-of-two stride all fail at
+// NewSystem rather than silently desampling.
+func TestSampleStrideGuards(t *testing.T) {
+	g := workload.Groups2[0]
+	base := RunConfig{Scale: UnitScale(), Scheme: CoopPart, Group: g, Seed: 1}
+
+	cfg := base
+	cfg.Scale.SampleStride = 8
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted SampleStride under the exact tier")
+	}
+
+	cfg = base
+	cfg.Fidelity = FidelitySetSampled
+	cfg.Scale.SampleStride = cfg.Scale.L2TwoCore.SizeBytes // far beyond Sets/2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted a stride beyond half the set count")
+	}
+
+	cfg = base
+	cfg.Fidelity = FidelitySetSampled
+	cfg.Scale.SampleStride = 3
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted a non-power-of-two stride")
+	}
+}
+
 // TestFidelityRejectsUnknown pins loud failure for an out-of-range
 // tier value.
 func TestFidelityRejectsUnknown(t *testing.T) {

@@ -40,6 +40,11 @@ var AllSchemes = []SchemeKind{Unmanaged, FairShare, DynCPE, UCP, CoopPart}
 // access latency.
 const bankBusyCycles = 4
 
+// DefaultSampleStride is the LLC set-sampling ratio K applied when a
+// set-sampled run does not set Scale.SampleStride. K=8 keeps 1/8 of
+// the sets modelled — the validated sweet spot of DESIGN.md §15.
+const DefaultSampleStride = 8
+
 // RunConfig describes one simulation run.
 type RunConfig struct {
 	Scale  Scale
@@ -105,6 +110,11 @@ type System struct {
 	lineBytes    int
 	lineShift    uint  // log2(lineBytes), hoisted out of the access path
 	measureFrom  int64 // clock at the end of warm-up (energy reset point)
+	// wbWeight is the set-sampling scale factor K applied to writeback
+	// energy: each sampled writeback stands for K writebacks of the
+	// full cache. 1 outside the set-sampled tier. (The DRAM side needs
+	// no factor — the controller posts K writes per sampled writeback.)
+	wbWeight int
 	// stepRecords forces the per-record Step path instead of the
 	// event-compressed StepEvent path (DESIGN.md §10). The two are
 	// bit-identical — this switch exists for the differential tests
@@ -148,6 +158,32 @@ func NewSystem(cfg RunConfig) (*System, error) {
 	if cfg.Banks > 1 {
 		l2cfg.Banks = cfg.Banks
 		l2cfg.BankBusyCycles = bankBusyCycles
+	}
+	wbWeight := 1
+	if cfg.Fidelity == FidelitySetSampled {
+		stride := cfg.Scale.SampleStride
+		if stride == 0 {
+			stride = DefaultSampleStride
+		}
+		// Dynamic CPE folds set indices with set & (coreSets-1) where
+		// coreSets can shrink to Sets/2; the fold preserves sampledness
+		// (the low log2(K) bits) only when K divides the folded set
+		// count, so larger strides would silently desample CPE runs.
+		if stride > l2cfg.Sets()/2 {
+			return nil, fmt.Errorf("sim: sample stride %d exceeds half the %d LLC sets",
+				stride, l2cfg.Sets())
+		}
+		l2cfg.SampleStride = stride
+		wbWeight = stride
+		// The cache substrate panics on bad configs (experiment-fixed in
+		// every other path); the stride comes from user flags, so turn
+		// its validation into a returned error here.
+		if err := l2cfg.Validate(); err != nil {
+			return nil, err
+		}
+	} else if cfg.Scale.SampleStride != 0 {
+		return nil, fmt.Errorf("sim: Scale.SampleStride = %d requires the set-sampled fidelity (run has %s)",
+			cfg.Scale.SampleStride, cfg.Fidelity)
 	}
 	cfg.Threshold = effectiveThreshold(cfg.Threshold, cfg.Scheme)
 
@@ -202,6 +238,7 @@ func NewSystem(cfg RunConfig) (*System, error) {
 		nextDecision: cfg.Scale.PhaseCycles,
 		lineBytes:    l2cfg.LineBytes,
 		lineShift:    uint(bits.TrailingZeros(uint(l2cfg.LineBytes))),
+		wbWeight:     wbWeight,
 	}
 	wayLines := l2cfg.Sets()
 	for i, name := range cfg.Group.Benchmarks {
@@ -292,7 +329,11 @@ func (s *System) chargeAccess(res partition.Result, isWrite bool, now int64) {
 		UMONSampled:   res.UMONSampled,
 		TakeoverOps:   res.TakeoverOps,
 	})
-	for i := 0; i < res.Writebacks; i++ {
+	// Each sampled writeback stands for wbWeight writebacks of the full
+	// cache (1 outside the set-sampled tier). decide()'s flush loop
+	// needs no such factor: FlushedOnDecide is already weight-scaled by
+	// the partition layer.
+	for i := 0; i < res.Writebacks*s.wbWeight; i++ {
 		s.meter.OnWriteback()
 	}
 	if pw := s.scheme.PoweredWayEquiv(); pw != s.meter.PoweredEquiv() {
@@ -534,6 +575,10 @@ func (s *System) RunMeasured(every uint64, onCkpt func(boundary uint64)) *Result
 	res.Allocations = s.scheme.Allocations()
 	res.SchemeStats = cloneStats(s.scheme.Stats())
 	res.Transition = cloneTransitions(s.scheme.Transitions())
+	// No set-sampling scaling here: the controller keeps DRAM traffic at
+	// full-cache magnitudes itself — estimated misses issue real reads
+	// and each sampled writeback posts wbWeight writes — so the DRAM
+	// counters are full-rate on every tier.
 	res.DRAM = s.dram.Stats()
 	if s.cfg.CaptureProfile {
 		res.Profile = partition.CoreProfile{Phases: s.profPhases}

@@ -66,11 +66,11 @@ func (g *Generator) NextEvent(ev *Event) {
 // The record-materialization arm below mirrors Fill's body line for
 // line and must stay in lockstep with it — the pairing is pinned by
 // TestEventStreamMatchesNext and FuzzEventStreamMatchesNext. A
-// FidelityFastForward config dispatches to the O(1) geometric run
-// sampler instead (fidelity.go) — a different, statistically
-// equivalent walk.
+// FidelityFastForward (or higher — FidelitySetSampled keeps the same
+// walk) config dispatches to the O(1) geometric run sampler instead
+// (fidelity.go) — a different, statistically equivalent walk.
 func (g *Generator) FillEvents(evs []Event) {
-	if g.cfg.Fidelity == FidelityFastForward {
+	if g.cfg.Fidelity >= FidelityFastForward {
 		g.fillEventsFF(evs)
 		return
 	}

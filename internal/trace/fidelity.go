@@ -28,6 +28,15 @@ const (
 	// byte-compared. Only the event path (NextEvent/FillEvents) fast-
 	// forwards; Next/Fill always perform the exact walk.
 	FidelityFastForward
+
+	// FidelitySetSampled keeps FastForward's trace walk and, above the
+	// generator, tells the simulator to model only 1/K of the shared
+	// LLC's sets (SMARTS-style set sampling; the cache and scheme
+	// layers own that machinery — the trace tier ordering is what lets
+	// them test `>= FidelityFastForward` for the RNG-walk shortcut).
+	// Like FastForward it is opt-in and statistically validated, never
+	// byte-compared against the exact tier.
+	FidelitySetSampled
 )
 
 // String returns the flag-friendly tier name.
@@ -37,6 +46,8 @@ func (f Fidelity) String() string {
 		return "exact"
 	case FidelityFastForward:
 		return "fastforward"
+	case FidelitySetSampled:
+		return "set-sampled"
 	default:
 		return fmt.Sprintf("fidelity(%d)", uint8(f))
 	}
@@ -44,7 +55,7 @@ func (f Fidelity) String() string {
 
 // Validate reports unknown tiers.
 func (f Fidelity) Validate() error {
-	if f > FidelityFastForward {
+	if f > FidelitySetSampled {
 		return fmt.Errorf("trace: unknown fidelity %d", uint8(f))
 	}
 	return nil
@@ -57,8 +68,10 @@ func ParseFidelity(s string) (Fidelity, error) {
 		return FidelityExact, nil
 	case "fastforward":
 		return FidelityFastForward, nil
+	case "set-sampled":
+		return FidelitySetSampled, nil
 	default:
-		return 0, fmt.Errorf("trace: unknown fidelity %q (exact or fastforward)", s)
+		return 0, fmt.Errorf("trace: unknown fidelity %q (exact, fastforward or set-sampled)", s)
 	}
 }
 

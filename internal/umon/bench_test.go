@@ -49,26 +49,30 @@ func TestUMONAccessAllocationFree(t *testing.T) {
 	}
 }
 
-// TestSamplingMaskMatchesModulo drives a pow-2-sampled monitor and a
-// reference monitor whose fast path is defeated (identical geometry,
-// accesses pre-filtered by the modulo) and requires identical counters.
+// TestSamplingMaskMatchesModulo drives a pow-2-sampled monitor against
+// a reference monitor whose sampling filter is applied externally via
+// the modulo definition (identical geometry, accesses pre-filtered so
+// the reference sees only modulo-sampled sets at their dense row
+// positions) and requires identical counters — the sampler's mask form
+// must be exactly the set%Sampling==0 subset.
 func TestSamplingMaskMatchesModulo(t *testing.T) {
 	const sets, ways, sampling = 64, 8, 4
 	fast := New(Config{Sets: sets, Ways: ways, Sampling: sampling})
-	ref := New(Config{Sets: sets, Ways: ways, Sampling: sampling})
-	ref.sampleMask = 0 // force the modulo path
+	ref := New(Config{Sets: sets / sampling, Ways: ways, Sampling: 1})
 	for i := 0; i < 20000; i++ {
 		set := (i * 7) % sets
 		tag := uint64((i * 13) % 96)
 		fast.Access(set, tag)
-		ref.Access(set, tag)
+		if set%sampling == 0 {
+			ref.Access(set/sampling, tag)
+		}
 	}
-	if fast.Accesses() != ref.Accesses() {
-		t.Fatalf("accesses: mask %d, modulo %d", fast.Accesses(), ref.Accesses())
+	if fast.Accesses() != ref.Accesses()*sampling {
+		t.Fatalf("accesses: mask %d, modulo %d", fast.Accesses(), ref.Accesses()*sampling)
 	}
 	for w := 0; w <= ways; w++ {
-		if fast.HitsUpTo(w) != ref.HitsUpTo(w) {
-			t.Fatalf("HitsUpTo(%d): mask %d, modulo %d", w, fast.HitsUpTo(w), ref.HitsUpTo(w))
+		if fast.HitsUpTo(w) != ref.HitsUpTo(w)*sampling {
+			t.Fatalf("HitsUpTo(%d): mask %d, modulo %d", w, fast.HitsUpTo(w), ref.HitsUpTo(w)*sampling)
 		}
 	}
 }

@@ -19,9 +19,13 @@ import (
 
 // Config describes one utility monitor.
 type Config struct {
-	Sets     int // sets in the monitored cache
-	Ways     int // associativity of the monitored cache
-	Sampling int // monitor every Sampling-th set (1 = all sets)
+	Sets int // sets in the monitored cache
+	Ways int // associativity of the monitored cache
+	// Sampling monitors every Sampling-th set (1 = all sets). It must
+	// be a power of two — New panics otherwise (see SetSampler). A
+	// value larger than Sets clamps to one sampled row, and scaled
+	// counters use the true Sets/SampledSets ratio of the clamp.
+	Sampling int
 }
 
 // Monitor is the per-core ATD with stack-distance hit counters.
@@ -41,10 +45,10 @@ type Monitor struct {
 	misses   uint64
 	accesses uint64
 
-	// Sampling test, precomputed: when Sampling is a power of two the
-	// set%Sampling==0 filter on every LLC access is a single AND.
-	sampleMask int // Sampling-1 when a power of two, else 0
-	rowMask    uint64
+	// sampler holds the shared set-sampling map: the sampled-set filter
+	// on every LLC access is a single AND, and the row index a shift.
+	sampler SetSampler
+	rowMask uint64
 }
 
 // New creates a monitor for a cache with the given geometry. It panics
@@ -60,24 +64,20 @@ func New(cfg Config) *Monitor {
 	if cfg.Sampling <= 0 {
 		cfg.Sampling = 1
 	}
-	sampled := cfg.Sets / cfg.Sampling
-	if sampled == 0 {
-		sampled = 1
-	}
+	sampler := NewSetSampler(cfg.Sets, cfg.Sampling)
+	sampled := sampler.Rows()
 	m := &Monitor{
 		cfg:     cfg,
 		tags:    make([]uint64, sampled*cfg.Ways),
 		valid:   make([]uint64, sampled),
 		sampled: sampled,
 		hits:    make([]uint64, cfg.Ways),
+		sampler: sampler,
 	}
 	if cfg.Ways == 64 {
 		m.rowMask = ^uint64(0)
 	} else {
 		m.rowMask = (uint64(1) << uint(cfg.Ways)) - 1
-	}
-	if cfg.Sampling&(cfg.Sampling-1) == 0 {
-		m.sampleMask = cfg.Sampling - 1
 	}
 	return m
 }
@@ -92,14 +92,10 @@ func (m *Monitor) SampledSets() int { return m.sampled }
 // index in the real cache; tag is the line's tag. Accesses to
 // non-sampled sets are ignored.
 func (m *Monitor) Access(set int, tag uint64) {
-	if m.sampleMask != 0 {
-		if set&m.sampleMask != 0 {
-			return
-		}
-	} else if m.cfg.Sampling > 1 && set%m.cfg.Sampling != 0 {
+	if !m.sampler.Sampled(set) {
 		return
 	}
-	row := (set / m.cfg.Sampling) % m.sampled
+	row := m.sampler.Row(set)
 	base := row * m.cfg.Ways
 	ways := m.cfg.Ways
 	m.accesses++
@@ -132,14 +128,20 @@ func (m *Monitor) Access(set int, tag uint64) {
 	tags[0] = tag
 }
 
+// Sampler returns the monitor's set-sampling map, so a cache shadowed
+// by this monitor can adopt the identical sampled-set selection.
+func (m *Monitor) Sampler() SetSampler { return m.sampler }
+
 // Accesses returns the number of monitored accesses since the last
-// decay to zero (scaled by the sampling ratio to estimate the full
-// cache's traffic).
-func (m *Monitor) Accesses() uint64 { return m.accesses * uint64(m.cfg.Sampling) }
+// decay to zero, scaled by the true Sets/SampledSets ratio to estimate
+// the full cache's traffic. The true ratio is the clamped stride: when
+// Sampling exceeds Sets only one row is tracked and the nominal ratio
+// would overestimate traffic by Sampling/Sets.
+func (m *Monitor) Accesses() uint64 { return m.accesses * uint64(m.sampler.Stride()) }
 
 // HitsUpTo returns the estimated number of hits the core would see with
 // w ways allocated: the sum of stack-position counters 0..w-1, scaled
-// by the sampling ratio.
+// by the true Sets/SampledSets ratio (see Accesses).
 func (m *Monitor) HitsUpTo(w int) uint64 {
 	if w > m.cfg.Ways {
 		w = m.cfg.Ways
@@ -148,7 +150,7 @@ func (m *Monitor) HitsUpTo(w int) uint64 {
 	for i := 0; i < w; i++ {
 		sum += m.hits[i]
 	}
-	return sum * uint64(m.cfg.Sampling)
+	return sum * uint64(m.sampler.Stride())
 }
 
 // Misses returns the estimated number of misses the core would incur
